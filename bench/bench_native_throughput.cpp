@@ -1,0 +1,133 @@
+// E9 -- native throughput: AfLock / AfSharedMutex vs baselines vs
+// std::shared_mutex under read-heavy, mixed and write-heavy workloads.
+//
+// CAVEAT (EXPERIMENTS.md): this host may expose a single core; numbers here
+// are indicative of instruction-path cost, not of the RMR behaviour the
+// paper is about (the simulator benches carry the reproduction). Thread
+// counts stay small on purpose.
+#include <benchmark/benchmark.h>
+
+#include <shared_mutex>
+#include <thread>
+
+#include "native/af_lock.hpp"
+#include "native/baselines.hpp"
+#include "native/shared_mutex.hpp"
+
+namespace {
+
+using namespace rwr::native;
+
+// Uncontended single-thread costs: lock_shared/unlock_shared round trip.
+void af_reader_passage(benchmark::State& state) {
+    AfLock lock(static_cast<std::uint32_t>(state.range(0)), 1,
+                static_cast<std::uint32_t>(state.range(1)));
+    for (auto _ : state) {
+        lock.lock_shared(0);
+        lock.unlock_shared(0);
+    }
+}
+BENCHMARK(af_reader_passage)
+    ->Args({64, 1})
+    ->Args({64, 8})
+    ->Args({64, 64})
+    ->Args({4096, 1})
+    ->Args({4096, 64})
+    ->Args({4096, 4096});
+
+void af_writer_passage(benchmark::State& state) {
+    AfLock lock(static_cast<std::uint32_t>(state.range(0)), 1,
+                static_cast<std::uint32_t>(state.range(1)));
+    for (auto _ : state) {
+        lock.lock(0);
+        lock.unlock(0);
+    }
+}
+BENCHMARK(af_writer_passage)
+    ->Args({64, 1})
+    ->Args({64, 64})
+    ->Args({4096, 1})
+    ->Args({4096, 4096});
+
+void centralized_reader_passage(benchmark::State& state) {
+    CentralizedRWLock lock;
+    for (auto _ : state) {
+        lock.lock_shared();
+        lock.unlock_shared();
+    }
+}
+BENCHMARK(centralized_reader_passage);
+
+void faa_reader_passage(benchmark::State& state) {
+    FaaRWLock lock(1);
+    for (auto _ : state) {
+        lock.lock_shared();
+        lock.unlock_shared();
+    }
+}
+BENCHMARK(faa_reader_passage);
+
+void std_shared_mutex_reader_passage(benchmark::State& state) {
+    std::shared_mutex lock;
+    for (auto _ : state) {
+        lock.lock_shared();
+        lock.unlock_shared();
+    }
+}
+BENCHMARK(std_shared_mutex_reader_passage);
+
+// Multi-threaded mixed workloads via google-benchmark's threaded mode.
+// Thread 0 writes every `range(0)`-th iteration; others read.
+template <typename LockT>
+void mixed_workload(benchmark::State& state, LockT& lock,
+                    std::int64_t write_every) {
+    const auto tid = static_cast<std::uint32_t>(state.thread_index());
+    std::int64_t i = 0;
+    for (auto _ : state) {
+        ++i;
+        if (tid == 0 && i % write_every == 0) {
+            lock.lock(0);
+            benchmark::DoNotOptimize(i);
+            lock.unlock(0);
+        } else {
+            lock.lock_shared(tid == 0 ? 0 : tid - 1);
+            benchmark::DoNotOptimize(i);
+            lock.unlock_shared(tid == 0 ? 0 : tid - 1);
+            // Yield between read passages: on an oversubscribed host a
+            // relentless reader flood starves the A_f writer indefinitely
+            // (the algorithm's documented fairness property), stalling the
+            // benchmark itself.
+            std::this_thread::yield();
+        }
+    }
+}
+
+void af_mixed(benchmark::State& state) {
+    static AfLock lock(8, 1, 4);
+    mixed_workload(state, lock, state.range(0));
+}
+BENCHMARK(af_mixed)->Arg(16)->Arg(128)->Threads(4)->UseRealTime()->MinTime(0.05);
+
+void faa_mixed(benchmark::State& state) {
+    static FaaRWLock lock(1);
+    mixed_workload(state, lock, state.range(0));
+}
+BENCHMARK(faa_mixed)->Arg(16)->Arg(128)->Threads(4)->UseRealTime()->MinTime(0.05);
+
+struct StdSharedMutexAdapter {
+    std::shared_mutex mx;
+    void lock(std::uint32_t) { mx.lock(); }
+    void unlock(std::uint32_t) { mx.unlock(); }
+    void lock_shared(std::uint32_t) { mx.lock_shared(); }
+    void unlock_shared(std::uint32_t) { mx.unlock_shared(); }
+};
+
+void std_mixed(benchmark::State& state) {
+    static StdSharedMutexAdapter lock;
+    mixed_workload(state, lock, state.range(0));
+}
+BENCHMARK(std_mixed)->Arg(16)->Arg(128)->Threads(4)->UseRealTime()->MinTime(0.05);
+
+}  // namespace
+
+BENCHMARK_MAIN();

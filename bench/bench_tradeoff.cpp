@@ -1,0 +1,101 @@
+// E1 -- Theorem 18 upper bounds, the reproduction's "Table 1".
+//
+// For a sweep of n and every named f(n) choice, drives all n readers plus
+// one writer through passages of A_f on the simulated CC machine and
+// reports measured per-passage RMRs against the predicted complexities:
+// readers Θ(log2(n/f)), writers Θ(f). The paper claims the tradeoff is
+// tight for every f; the fitted ratios (measured / predicted) must stay
+// flat as n grows.
+#include <bit>
+#include <cstdint>
+#include <iostream>
+
+#include "core/af_params.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace rwr;
+using namespace rwr::harness;
+
+double log2_of(std::uint32_t x) {
+    return x <= 1 ? 1.0 : static_cast<double>(std::bit_width(x - 1));
+}
+
+void run_protocol(Protocol proto) {
+    std::cout << "\n=== E1: A_f passage RMRs, protocol = " << to_string(proto)
+              << " ===\n"
+              << "(reader prediction: log2(K); writer prediction: f; ratios "
+                 "must stay flat in n)\n";
+    Table t({"n", "f(n)", "f", "K", "rd mean", "rd max", "rd/logK",
+             "wr mean", "wr max", "wr/f"});
+    for (const std::uint32_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
+        for (const auto choice :
+             {core::FChoice::One, core::FChoice::Log, core::FChoice::Sqrt,
+              core::FChoice::Linear}) {
+            const std::uint32_t f = core::f_of(choice, n);
+            ExperimentConfig cfg;
+            cfg.lock = LockKind::Af;
+            cfg.protocol = proto;
+            cfg.n = n;
+            cfg.m = 1;
+            cfg.f = f;
+            cfg.passages = 2;
+            cfg.sched = SchedKind::RoundRobin;
+            cfg.check_mutual_exclusion = false;  // Speed; correctness is
+                                                 // covered by the test suite.
+            const auto res = run_experiment(cfg);
+            if (!res.finished) {
+                std::cerr << "experiment did not finish: n=" << n
+                          << " f=" << f << "\n";
+                continue;
+            }
+            const std::uint32_t K = (n + f - 1) / f;
+            const double rd_pred = log2_of(K);
+            const double wr_pred = static_cast<double>(f);
+            t.row({fmt(n), to_string(choice), fmt(f), fmt(K),
+                   fmt(res.readers.mean_passage_rmrs),
+                   fmt(res.readers.max_passage_rmrs),
+                   fmt(res.readers.mean_passage_rmrs / rd_pred, 2),
+                   fmt(res.writers.mean_passage_rmrs),
+                   fmt(res.writers.max_passage_rmrs),
+                   fmt(res.writers.mean_passage_rmrs / wr_pred, 2)});
+        }
+    }
+    t.print();
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "bench_tradeoff: reproduces the paper's Theorem 18 "
+                 "complexity claims for the A_f family\n";
+    run_protocol(Protocol::WriteThrough);
+    run_protocol(Protocol::WriteBack);
+
+    // Group-size rounding ablation (DESIGN.md §6): K = ceil(n/f) leaves
+    // some groups partially filled when f does not divide n; show the
+    // constants are unaffected.
+    std::cout << "\n=== E1b: rounding ablation (n not divisible by f) ===\n";
+    Table t({"n", "f", "K", "groups", "rd mean", "wr mean"});
+    for (const std::uint32_t n : {100u, 321u, 1000u}) {
+        for (const std::uint32_t f : {3u, 7u, 13u}) {
+            ExperimentConfig cfg;
+            cfg.lock = LockKind::Af;
+            cfg.n = n;
+            cfg.m = 1;
+            cfg.f = f;
+            cfg.passages = 2;
+            cfg.sched = SchedKind::RoundRobin;
+            cfg.check_mutual_exclusion = false;
+            const auto res = run_experiment(cfg);
+            const std::uint32_t K = (n + f - 1) / f;
+            t.row({fmt(n), fmt(f), fmt(K), fmt((n + K - 1) / K),
+                   fmt(res.readers.mean_passage_rmrs),
+                   fmt(res.writers.mean_passage_rmrs)});
+        }
+    }
+    t.print();
+    return 0;
+}

@@ -1,0 +1,99 @@
+// E3 -- Corollaries 6 & 7: the tradeoff frontier.
+//
+// For every lock, places its (writer-entry RMRs, reader-exit RMRs) point
+// (both measured under the adversary, the worst case the theory speaks
+// about) against the curve exit >= log3(n / entry). Read/write/CAS locks
+// must sit on or above the curve; A_f traces the frontier as f sweeps; the
+// FAA lock sits below it (different primitive set).
+//
+// Also checks Corollary 7's max(log n, log m) form: for each lock the
+// total passage RMR (max of reader and writer) is compared against
+// log2(max(n, m)).
+#include <bit>
+#include <cmath>
+#include <iostream>
+
+#include "adversary/adversary.hpp"
+#include "harness/experiment.hpp"
+#include "harness/table.hpp"
+
+namespace {
+
+using namespace rwr;
+using namespace rwr::harness;
+
+void frontier_row(Table& t, const std::string& label, LockKind kind,
+                  std::uint32_t n, std::uint32_t f) {
+    adversary::AdversaryConfig cfg;
+    cfg.lock = kind;
+    cfg.n = n;
+    cfg.f = f;
+    const auto res = adversary::run_adversary(cfg);
+    if (!res.completed) {
+        t.row({label, fmt(n), "-", "-", "-", "-", res.note.substr(0, 30)});
+        return;
+    }
+    const double curve =
+        std::log(static_cast<double>(n) /
+                 std::max<double>(1.0, static_cast<double>(
+                                           res.writer_entry_rmrs))) /
+        std::log(3.0);
+    const bool above = static_cast<double>(res.max_reader_exit_rmrs) >=
+                       curve - 1.0;
+    t.row({label, fmt(n), fmt(res.writer_entry_rmrs),
+           fmt(res.max_reader_exit_rmrs), fmt(std::max(0.0, curve), 2),
+           above ? "yes" : "NO",
+           above ? "" : "<-- would contradict Theorem 5"});
+}
+
+}  // namespace
+
+int main() {
+    std::cout << "bench_tradeoff_frontier: every lock against the curve "
+                 "reader-exit >= log3(n / writer-entry)\n";
+
+    for (const std::uint32_t n : {64u, 256u, 1024u}) {
+        std::cout << "\n=== E3: frontier at n = " << n << " (write-back) ===\n";
+        Table t({"lock", "n", "wr entry", "rd exit", "log3 curve",
+                 "on/above?", "note"});
+        for (const std::uint32_t f : {1u, 4u, 16u, 64u}) {
+            if (f <= n) {
+                frontier_row(t, "A_f(f=" + std::to_string(f) + ")",
+                             LockKind::Af, n, f);
+            }
+        }
+        frontier_row(t, "centralized", LockKind::Centralized, n, 1);
+        frontier_row(t, "reader-pref", LockKind::ReaderPref, n, 1);
+        frontier_row(t, "faa (non-CAS!)", LockKind::Faa, n, 1);
+        t.print();
+    }
+
+    std::cout << "\n=== E3b: Corollary 7 -- passage RMRs vs log2(max(n, m)) "
+                 "===\n"
+              << "(fair round-robin contended run; every CAS-only lock's "
+                 "worst passage must exceed c * log2(max(n,m)))\n";
+    Table t({"lock", "n", "m", "rd passage max", "wr passage max",
+             "log2(max(n,m))"});
+    for (const LockKind kind :
+         {LockKind::Af, LockKind::Centralized, LockKind::ReaderPref}) {
+        for (const std::uint32_t n : {16u, 64u, 256u}) {
+            const std::uint32_t m = 8;
+            ExperimentConfig cfg;
+            cfg.lock = kind;
+            cfg.n = n;
+            cfg.m = m;
+            cfg.f = static_cast<std::uint32_t>(std::sqrt(n));
+            cfg.passages = 2;
+            cfg.sched = SchedKind::RoundRobin;
+            cfg.check_mutual_exclusion = false;
+            const auto res = run_experiment(cfg);
+            t.row({to_string(kind), fmt(n), fmt(m),
+                   fmt(res.readers.max_passage_rmrs),
+                   fmt(res.writers.max_passage_rmrs),
+                   fmt(static_cast<std::uint64_t>(
+                       std::bit_width(std::max(n, m)) - 1))});
+        }
+    }
+    t.print();
+    return 0;
+}

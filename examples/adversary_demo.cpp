@@ -1,0 +1,92 @@
+// Example: the lower bound, narrated.
+//
+//   $ ./examples/adversary_demo [n]
+//
+// Runs Theorem 5's adversarial construction (Figure 1: E = E1 E2 E3)
+// against A_f (f=1) and against the centralized one-word lock, printing the
+// per-iteration story of E2: how many readers are still exiting, how large
+// the knowledge sets have grown (the 3^j invariant), and -- at the end --
+// how many RMRs the adversary extracted from a single reader's exit
+// section versus the writer's entry section.
+#include <cstdio>
+#include <cstdlib>
+
+#include "adversary/adversary.hpp"
+
+namespace {
+
+using namespace rwr;
+
+void narrate(harness::LockKind kind, const char* label, std::uint32_t n) {
+    adversary::AdversaryConfig cfg;
+    cfg.lock = kind;
+    cfg.n = n;
+    cfg.f = 1;
+    const auto res = adversary::run_adversary(cfg);
+
+    std::printf("=== %s, n = %u readers, single writer ===\n", label, n);
+    if (!res.completed) {
+        std::printf("construction did not complete: %s\n\n",
+                    res.note.c_str());
+        return;
+    }
+    std::printf(
+        "E1: all %u readers entered the CS solo (Concurrent Entering).\n"
+        "E2: readers exit; the adversary pauses each reader right before "
+        "every awareness-expanding step\n    and releases the poised steps "
+        "in Lemma 2's phase order (reads, then CAS grouped by variable):\n",
+        n);
+    double cap = 1;
+    for (std::size_t j = 0; j < res.iterations.size(); ++j) {
+        const auto& it = res.iterations[j];
+        cap *= 3;
+        std::printf(
+            "    iteration %2zu: released %4u expanding steps, %4u readers "
+            "still exiting, max knowledge %4zu (3^j cap %.0f)\n",
+            j + 1, it.batch_size, it.readers_left, it.max_knowledge, cap);
+        if (j > 6 && res.iterations.size() > 12 &&
+            j < res.iterations.size() - 3) {
+            std::printf("    ... (%zu more iterations) ...\n",
+                        res.iterations.size() - j - 3);
+            // Skip the middle for long traces.
+            while (j < res.iterations.size() - 4) {
+                cap *= 3;
+                ++j;
+            }
+        }
+    }
+    std::printf(
+        "E3: writer entered the CS solo from the quiescent configuration.\n"
+        "\nresults:\n"
+        "    iterations r                  = %llu   (Theorem 5: r >= "
+        "log3(n/f) = %.1f)\n"
+        "    worst reader exit RMRs        = %llu   (survivor's expanding "
+        "steps: %llu, each an RMR by Lemma 1)\n"
+        "    writer entry RMRs             = %llu   (the 'f(n)' of the "
+        "tradeoff)\n"
+        "    writer aware of all readers?  = %s   (Lemma 4)\n"
+        "    Lemma 1 violations            = %llu   (must be 0)\n\n",
+        static_cast<unsigned long long>(res.r), res.log3_bound,
+        static_cast<unsigned long long>(res.max_reader_exit_rmrs),
+        static_cast<unsigned long long>(res.survivor_expanding_steps),
+        static_cast<unsigned long long>(res.writer_entry_rmrs),
+        res.lemma4_holds ? "yes" : "NO",
+        static_cast<unsigned long long>(res.lemma1_violations));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const auto n = static_cast<std::uint32_t>(
+        argc > 1 ? std::atoi(argv[1]) : 64);
+    std::printf("adversary_demo: Theorem 5's execution E = E1 E2 E3, "
+                "constructed live\n\n");
+    narrate(harness::LockKind::Af, "A_f (f=1) -- meets the bound with "
+                                   "Theta(log n) reader exits",
+            n);
+    narrate(harness::LockKind::Centralized,
+            "centralized CAS lock -- pays Theta(n) reader exits for its "
+            "O(1) writer",
+            n);
+    return 0;
+}

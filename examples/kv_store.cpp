@@ -1,0 +1,153 @@
+// Example: a read-mostly in-memory key-value store -- the workload that
+// motivates reader-writer locks (paper Section 1) -- protected by
+// different locks, with end-to-end operation counts per lock.
+//
+//   $ ./examples/kv_store [seconds-per-lock]
+//
+// Demonstrates the practical API differences: the A_f lock is id-based
+// (threads own reader/writer slots), the facade hides that, and the
+// centralized/FAA baselines are id-less. On a machine with few cores the
+// absolute numbers mean little (see EXPERIMENTS.md E9); the example is
+// about the integration pattern.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "native/af_lock.hpp"
+#include "native/baselines.hpp"
+#include "native/shared_mutex.hpp"
+
+namespace {
+
+constexpr int kReaders = 3;
+constexpr int kWriters = 1;
+
+class KvStore {
+   public:
+    void put(std::uint64_t key, std::uint64_t value) { map_[key] = value; }
+    [[nodiscard]] std::uint64_t get(std::uint64_t key) const {
+        auto it = map_.find(key);
+        return it == map_.end() ? 0 : it->second;
+    }
+    [[nodiscard]] std::size_t size() const { return map_.size(); }
+
+   private:
+    std::unordered_map<std::uint64_t, std::uint64_t> map_;
+};
+
+struct Counters {
+    std::atomic<std::uint64_t> reads{0};
+    std::atomic<std::uint64_t> writes{0};
+};
+
+/// LockApi adapts each lock to (reader_id|writer_id)-taking calls.
+template <typename LockApi>
+void drive(const char* name, LockApi api, double seconds) {
+    KvStore store;
+    Counters counters;
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> threads;
+
+    for (int r = 0; r < kReaders; ++r) {
+        threads.emplace_back([&, r] {
+            std::uint64_t key = r;
+            std::uint64_t local = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                api.lock_shared(r);
+                local += store.get(key % 997);
+                api.unlock_shared(r);
+                ++key;
+                counters.reads.fetch_add(1, std::memory_order_relaxed);
+            }
+            (void)local;
+        });
+    }
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            std::uint64_t key = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                api.lock(w);
+                store.put(key % 997, key);
+                api.unlock(w);
+                ++key;
+                counters.writes.fetch_add(1, std::memory_order_relaxed);
+                std::this_thread::yield();  // Read-mostly mix.
+            }
+        });
+    }
+
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+    stop.store(true);
+    for (auto& t : threads) {
+        t.join();
+    }
+    std::printf("%-18s reads: %10llu   writes: %9llu   entries: %zu\n", name,
+                static_cast<unsigned long long>(counters.reads.load()),
+                static_cast<unsigned long long>(counters.writes.load()),
+                store.size());
+}
+
+struct AfApi {
+    rwr::native::AfLock* impl;
+    void lock_shared(int r) { impl->lock_shared(static_cast<std::uint32_t>(r)); }
+    void unlock_shared(int r) {
+        impl->unlock_shared(static_cast<std::uint32_t>(r));
+    }
+    void lock(int w) { impl->lock(static_cast<std::uint32_t>(w)); }
+    void unlock(int w) { impl->unlock(static_cast<std::uint32_t>(w)); }
+};
+
+struct CentralApi {
+    rwr::native::CentralizedRWLock* impl;
+    void lock_shared(int) { impl->lock_shared(); }
+    void unlock_shared(int) { impl->unlock_shared(); }
+    void lock(int) { impl->lock(); }
+    void unlock(int) { impl->unlock(); }
+};
+
+struct FaaApi {
+    rwr::native::FaaRWLock* impl;
+    void lock_shared(int) { impl->lock_shared(); }
+    void unlock_shared(int) { impl->unlock_shared(); }
+    void lock(int w) { impl->lock(static_cast<std::uint32_t>(w)); }
+    void unlock(int w) { impl->unlock(static_cast<std::uint32_t>(w)); }
+};
+
+struct StdApi {
+    std::shared_mutex* impl;
+    void lock_shared(int) { impl->lock_shared(); }
+    void unlock_shared(int) { impl->unlock_shared(); }
+    void lock(int) { impl->lock(); }
+    void unlock(int) { impl->unlock(); }
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    const double seconds = argc > 1 ? std::atof(argv[1]) : 0.5;
+    std::printf("kv_store: %d readers + %d writer, read-mostly, %.1fs per "
+                "lock\n\n",
+                kReaders, kWriters, seconds);
+
+    rwr::native::AfLock af_balanced(kReaders, kWriters, 2);
+    drive("A_f (f=2)", AfApi{&af_balanced}, seconds);
+
+    rwr::native::AfLock af_reader_opt(kReaders, kWriters, kReaders);
+    drive("A_f (f=n)", AfApi{&af_reader_opt}, seconds);
+
+    rwr::native::CentralizedRWLock central;
+    drive("centralized", CentralApi{&central}, seconds);
+
+    rwr::native::FaaRWLock faa(kWriters);
+    drive("faa", FaaApi{&faa}, seconds);
+
+    std::shared_mutex std_mutex;
+    drive("std::shared_mutex", StdApi{&std_mutex}, seconds);
+    return 0;
+}

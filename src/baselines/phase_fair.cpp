@@ -1,0 +1,64 @@
+#include "baselines/phase_fair.hpp"
+
+namespace rwr::baselines {
+
+PhaseFairSimRWLock::PhaseFairSimRWLock(Memory& mem, std::uint32_t n,
+                                       std::uint32_t m)
+    : rin_(mem.allocate("pf.rin", 0)),
+      rout_(mem.allocate("pf.rout", 0)),
+      win_(mem.allocate("pf.win", 0)),
+      wout_(mem.allocate("pf.wout", 0)),
+      writer_wbits_(m, 0) {
+    (void)n;
+}
+
+sim::SimTask<void> PhaseFairSimRWLock::reader_entry(sim::Process& p) {
+    const Word w = (co_await p.fetch_add(rin_, kRinc)) & kWBits;
+    if (w != 0) {
+        // A writer is present: wait for it to complete its phase (the
+        // writer bits change when it exits, or when the NEXT writer with a
+        // toggled phase id takes over -- either way this reader may go).
+        for (;;) {
+            const Word cur = co_await p.read(rin_);
+            if ((cur & kWBits) != w) {
+                break;
+            }
+        }
+    }
+}
+
+sim::SimTask<void> PhaseFairSimRWLock::reader_exit(sim::Process& p) {
+    co_await p.fetch_add(rout_, kRinc);
+}
+
+sim::SimTask<void> PhaseFairSimRWLock::writer_entry(sim::Process& p) {
+    // FIFO among writers.
+    const Word ticket = co_await p.fetch_add(win_, 1);
+    for (;;) {
+        const Word cur = co_await p.read(wout_);
+        if (cur == ticket) {
+            break;
+        }
+    }
+    // Announce presence + phase id; snapshot the reader arrival count.
+    const Word w = kPres | ((ticket & 1) << 1);
+    writer_wbits_[p.role_index()] = w;
+    const Word rticket = (co_await p.fetch_add(rin_, w)) & ~kWBits;
+    // Drain readers admitted before the announcement.
+    for (;;) {
+        const Word outs = co_await p.read(rout_);
+        if (outs == rticket) {
+            break;
+        }
+    }
+}
+
+sim::SimTask<void> PhaseFairSimRWLock::writer_exit(sim::Process& p) {
+    const Word w = writer_wbits_[p.role_index()];
+    // Clear our presence bits (we are the only writer active, so rin's
+    // writer bits are exactly w; FAA of the negation clears them).
+    co_await p.fetch_add(rin_, static_cast<Word>(0) - w);
+    co_await p.fetch_add(wout_, 1);
+}
+
+}  // namespace rwr::baselines

@@ -1,0 +1,60 @@
+// Phase-fair reader-writer lock (Brandenburg & Anderson's PF-T, ECRTS'09),
+// simulated.
+//
+// This is the repository's answer to the paper's closing open problem:
+// "Our algorithms guarantee that readers do not starve. Writers, however,
+// may starve if there are always readers performing passages. Finding a
+// family of reader-writer algorithms (implemented from the same operations)
+// that match our complexity tradeoff and provide better fairness is left
+// for future work."
+//
+// PF-T provides the fairness half: reader and writer phases alternate, so
+// a writer waits for at most one reader phase (no writer starvation, ever)
+// and a reader waits for at most one writer phase. But it does NOT match
+// the tradeoff's complexity frontier on two counts, which the benches make
+// visible:
+//   * it is built on fetch-and-add tickets (outside {read, write, CAS});
+//   * its writer drains readers by spinning on a global exit counter that
+//     every exiting reader bumps: Θ(n) RMRs in the worst case (PF-Q fixes
+//     that with queues, at further complexity).
+// Matching Θ(f), Θ(log(n/f)) *and* phase-fairness with read/write/CAS only
+// remains open -- exactly as the paper says.
+//
+// Layout (all FAA-updated):
+//   rin  = reader arrivals * 0x100 | writer bits (PRES=0x1, PHID=0x2)
+//   rout = reader exits * 0x100
+//   win/wout = writer FIFO tickets.
+#pragma once
+
+#include <vector>
+
+#include "rmr/memory.hpp"
+#include "sim/rwlock.hpp"
+
+namespace rwr::baselines {
+
+class PhaseFairSimRWLock final : public sim::SimRWLock {
+   public:
+    PhaseFairSimRWLock(Memory& mem, std::uint32_t n, std::uint32_t m);
+
+    sim::SimTask<void> reader_entry(sim::Process& p) override;
+    sim::SimTask<void> reader_exit(sim::Process& p) override;
+    sim::SimTask<void> writer_entry(sim::Process& p) override;
+    sim::SimTask<void> writer_exit(sim::Process& p) override;
+    [[nodiscard]] std::string name() const override { return "phase-fair"; }
+
+    static constexpr Word kRinc = 0x100;  ///< Reader ticket increment.
+    static constexpr Word kPres = 0x1;    ///< Writer present.
+    static constexpr Word kPhid = 0x2;    ///< Writer phase id.
+    static constexpr Word kWBits = kPres | kPhid;
+
+   private:
+    VarId rin_, rout_, win_, wout_;
+    /// Writer-local state must live across entry/exit coroutines: the
+    /// writer's w-bits, keyed by writer slot. Only the lock-holding writer
+    /// reads its own slot, so plain (non-simulated) storage is faithful --
+    /// it models the writer's private memory.
+    std::vector<Word> writer_wbits_;
+};
+
+}  // namespace rwr::baselines

@@ -1,0 +1,125 @@
+#include "core/af_ablations.hpp"
+
+namespace rwr::core {
+
+AblatedAfSimLock::AblatedAfSimLock(Memory& mem, AfParams params,
+                                   AfAblation ablation)
+    : params_(params),
+      ablation_(ablation),
+      k_(params.group_size()),
+      groups_(params.num_groups()),
+      wl_(mem, "abf.WL", params.m) {
+    params_.validate();
+    for (std::uint32_t i = 0; i < groups_; ++i) {
+        c_.push_back(std::make_unique<counter::FArraySimCounter>(
+            mem, "abf.C" + std::to_string(i), k_));
+        w_.push_back(std::make_unique<counter::FArraySimCounter>(
+            mem, "abf.W" + std::to_string(i), k_));
+        wsig_.push_back(mem.allocate("abf.WSIG" + std::to_string(i),
+                                     pack_sig(0, WsOp::Bot)));
+    }
+    wseq_ = mem.allocate("abf.WSEQ", 0);
+    rsig_ = mem.allocate("abf.RSIG", pack_sig(0, RsOp::Nop));
+}
+
+sim::SimTask<void> AblatedAfSimLock::help_wcs(sim::Process& p,
+                                              std::uint32_t group,
+                                              Word seq) {
+    const std::int64_t c = co_await c_[group]->read(p);
+    const std::int64_t w = co_await w_[group]->read(p);
+    if (c == w) {
+        co_await p.cas(wsig_[group], pack_sig(seq, WsOp::Wait),
+                       pack_sig(seq, WsOp::Cs));
+    }
+}
+
+sim::SimTask<void> AblatedAfSimLock::reader_entry(sim::Process& p) {
+    const std::uint32_t group = p.role_index() / k_;
+    const std::uint32_t slot = p.role_index() % k_;
+    co_await c_[group]->add(p, slot, +1);
+    const Word sig = co_await p.read(rsig_);
+    const Word seq = sig_seq(sig);
+    if (sig_rs_op(sig) == RsOp::Wait) {
+        co_await w_[group]->add(p, slot, +1);
+        co_await help_wcs(p, group, seq);
+        for (;;) {
+            const Word cur = co_await p.read(rsig_);
+            if (cur != pack_sig(seq, RsOp::Wait)) {
+                break;
+            }
+        }
+        co_await w_[group]->add(p, slot, -1);
+    }
+}
+
+sim::SimTask<void> AblatedAfSimLock::reader_exit(sim::Process& p) {
+    const std::uint32_t group = p.role_index() / k_;
+    const std::uint32_t slot = p.role_index() % k_;
+    co_await c_[group]->add(p, slot, -1);
+    if (ablation_ == AfAblation::NoExitHelp) {
+        co_return;  // Lines 41-48 removed: leave without signalling.
+    }
+    const Word sig = co_await p.read(rsig_);
+    const Word seq = sig_seq(sig);
+    if (sig_rs_op(sig) == RsOp::PreEntry) {
+        const std::int64_t c = co_await c_[group]->read(p);
+        if (c == 0) {
+            co_await p.cas(wsig_[group], pack_sig(seq, WsOp::Bot),
+                           pack_sig(seq, WsOp::Proceed));
+        }
+    } else if (sig_rs_op(sig) == RsOp::Wait) {
+        co_await help_wcs(p, group, seq);
+    }
+}
+
+sim::SimTask<void> AblatedAfSimLock::writer_entry(sim::Process& p) {
+    co_await wl_.enter(p, p.role_index());
+    const Word seq = co_await p.read(wseq_);
+
+    if (ablation_ == AfAblation::NoPreentry) {
+        // Lines 7-17 removed: arm the WAIT handshake immediately, without
+        // first draining readers that still wait for previous passages.
+        for (std::uint32_t i = 0; i < groups_; ++i) {
+            co_await p.write(wsig_[i], pack_sig(seq, WsOp::Wait));
+        }
+    } else {
+        for (std::uint32_t i = 0; i < groups_; ++i) {
+            co_await p.write(wsig_[i], pack_sig(seq, WsOp::Bot));
+        }
+        co_await p.write(rsig_, pack_sig(seq, RsOp::PreEntry));
+        for (std::uint32_t i = 0; i < groups_; ++i) {
+            const std::int64_t c = co_await c_[i]->read(p);
+            if (c > 0) {
+                for (;;) {
+                    const Word sig = co_await p.read(wsig_[i]);
+                    if (sig == pack_sig(seq, WsOp::Proceed)) {
+                        break;
+                    }
+                }
+            }
+            co_await p.write(wsig_[i], pack_sig(seq, WsOp::Wait));
+        }
+    }
+
+    co_await p.write(rsig_, pack_sig(seq, RsOp::Wait));
+    for (std::uint32_t i = 0; i < groups_; ++i) {
+        const std::int64_t c = co_await c_[i]->read(p);
+        if (c != 0) {
+            for (;;) {
+                const Word sig = co_await p.read(wsig_[i]);
+                if (sig == pack_sig(seq, WsOp::Cs)) {
+                    break;
+                }
+            }
+        }
+    }
+}
+
+sim::SimTask<void> AblatedAfSimLock::writer_exit(sim::Process& p) {
+    const Word seq = co_await p.read(wseq_);
+    co_await p.write(wseq_, seq + 1);
+    co_await p.write(rsig_, pack_sig(seq + 1, RsOp::Nop));
+    co_await wl_.exit(p, p.role_index());
+}
+
+}  // namespace rwr::core

@@ -1,0 +1,72 @@
+// Ablated variants of Algorithm 1 -- each removes one mechanism whose
+// purpose the paper explains, so the verification machinery can demonstrate
+// that the mechanism is load-bearing:
+//
+//  * NoPreentry: drops lines 7-17 (the PREENTRY handshake). The paper: "The
+//    purpose of the PREENTRY command ... is to verify that no readers are
+//    already waiting (for previous writer passages), before w instructs
+//    concurrent readers to wait for its current passage." Without it, a
+//    reader still waking from the PREVIOUS passage is double-counted by the
+//    new passage's C[i] == W[i] test: the writer can be signalled into the
+//    CS while that reader also enters -- mutual exclusion breaks.
+//
+//  * NoExitHelp: drops lines 41-48 (the exit-section signalling). Readers
+//    that leave no longer tell the writer that C[i] reached 0 / that all
+//    remaining readers wait, so a writer that saw C[i] > 0 spins forever --
+//    deadlock freedom breaks.
+//
+// Used by tests/test_af_ablations.cpp; NOT part of the public API.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/af_params.hpp"
+#include "core/signals.hpp"
+#include "counter/sim_counter.hpp"
+#include "mutex/sim_mutex.hpp"
+#include "rmr/memory.hpp"
+#include "sim/rwlock.hpp"
+
+namespace rwr::core {
+
+enum class AfAblation : std::uint8_t {
+    NoPreentry,
+    NoExitHelp,
+};
+
+class AblatedAfSimLock final : public sim::SimRWLock {
+   public:
+    AblatedAfSimLock(Memory& mem, AfParams params, AfAblation ablation);
+
+    sim::SimTask<void> reader_entry(sim::Process& p) override;
+    sim::SimTask<void> reader_exit(sim::Process& p) override;
+    sim::SimTask<void> writer_entry(sim::Process& p) override;
+    sim::SimTask<void> writer_exit(sim::Process& p) override;
+
+    [[nodiscard]] std::string name() const override {
+        return ablation_ == AfAblation::NoPreentry ? "A_f[-preentry]"
+                                                   : "A_f[-exithelp]";
+    }
+
+    /// Test hook: the RSIG variable (to steer schedules around spin loops).
+    [[nodiscard]] VarId rsig_var() const { return rsig_; }
+
+   private:
+    sim::SimTask<void> help_wcs(sim::Process& p, std::uint32_t group,
+                                Word seq);
+
+    AfParams params_;
+    AfAblation ablation_;
+    std::uint32_t k_;
+    std::uint32_t groups_;
+    std::vector<std::unique_ptr<counter::FArraySimCounter>> c_;
+    std::vector<std::unique_ptr<counter::FArraySimCounter>> w_;
+    mutex::TournamentSimMutex wl_;
+    VarId wseq_;
+    VarId rsig_;
+    std::vector<VarId> wsig_;
+};
+
+}  // namespace rwr::core

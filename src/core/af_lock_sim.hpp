@@ -1,0 +1,90 @@
+// Simulated implementation of the paper's Algorithm 1 -- the reader-writer
+// lock family A_f. Line numbers in comments refer to the paper's
+// pseudo-code.
+//
+// Structure (paper Section 4):
+//   * Readers are statically partitioned into f groups of K = ceil(n/f)
+//     members. Group i consolidates information in two K-process f-array
+//     counters: C[i] (readers currently in a passage) and W[i] (readers
+//     waiting for the current writer).
+//   * Writers serialize on WL, an m-process starvation-free mutex with
+//     logarithmic RMR complexity and Bounded Exit.
+//   * WSEQ numbers writer passages. RSIG broadcasts the holding writer's
+//     phase to readers; WSIG[i] carries group-i readers' signals back, with
+//     CAS ensuring exactly one reader succeeds per handshake.
+//
+// RMR complexity (Theorem 18): writers Θ(f(n) + log m) per passage, readers
+// Θ(log(n/f(n))) per passage. Readers never starve; writers can starve
+// under a continuous reader flood (paper Section 6).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/af_params.hpp"
+#include "core/signals.hpp"
+#include "counter/sim_counter.hpp"
+#include "mutex/sim_mutex.hpp"
+#include "rmr/memory.hpp"
+#include "sim/rwlock.hpp"
+
+namespace rwr::core {
+
+class AfSimLock final : public sim::SimRWLock {
+   public:
+    AfSimLock(Memory& mem, AfParams params);
+
+    sim::SimTask<void> reader_entry(sim::Process& p) override;
+    sim::SimTask<void> reader_exit(sim::Process& p) override;
+    sim::SimTask<void> writer_entry(sim::Process& p) override;
+    sim::SimTask<void> writer_exit(sim::Process& p) override;
+
+    [[nodiscard]] std::string name() const override {
+        return "A_f(f=" + std::to_string(params_.f) + ")";
+    }
+
+    [[nodiscard]] const AfParams& params() const { return params_; }
+    [[nodiscard]] std::uint32_t group_of(std::uint32_t reader_index) const {
+        return reader_index / k_;
+    }
+    [[nodiscard]] std::uint32_t slot_of(std::uint32_t reader_index) const {
+        return reader_index % k_;
+    }
+
+    /// Test hooks: signal variable of a group, number of groups.
+    [[nodiscard]] VarId wsig_var(std::uint32_t group) const {
+        return wsig_[group];
+    }
+    [[nodiscard]] std::uint32_t num_groups() const { return groups_; }
+
+    /// Test hooks: exact (non-simulated) counter contents.
+    [[nodiscard]] std::int64_t peek_c(const Memory& mem,
+                                      std::uint32_t group) const {
+        return c_[group]->peek_exact(mem);
+    }
+    [[nodiscard]] std::int64_t peek_w(const Memory& mem,
+                                      std::uint32_t group) const {
+        return w_[group]->peek_exact(mem);
+    }
+
+   private:
+    /// HelpWCS (paper lines 50-54): if every group-i reader in a passage is
+    /// waiting (C[i] == W[i]), signal the writer of passage `seq` that it
+    /// may enter the CS.
+    sim::SimTask<void> help_wcs(sim::Process& p, std::uint32_t group,
+                                Word seq);
+
+    AfParams params_;
+    std::uint32_t k_;       ///< Group size K.
+    std::uint32_t groups_;  ///< Number of groups (= f, modulo rounding).
+
+    std::vector<std::unique_ptr<counter::FArraySimCounter>> c_;  ///< C[i].
+    std::vector<std::unique_ptr<counter::FArraySimCounter>> w_;  ///< W[i].
+    mutex::TournamentSimMutex wl_;                               ///< WL.
+    VarId wseq_;                ///< WSEQ (line 3).
+    VarId rsig_;                ///< RSIG (line 4).
+    std::vector<VarId> wsig_;   ///< WSIG[i] (line 4).
+};
+
+}  // namespace rwr::core

@@ -1,0 +1,106 @@
+#include "counter/sim_farray.hpp"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "counter/sim_counter.hpp"  // PackedNode.
+
+namespace rwr::counter {
+
+FArraySimAggregate::FArraySimAggregate(Memory& mem, const std::string& name,
+                                       std::uint32_t capacity, AggKind kind,
+                                       std::int32_t identity)
+    : capacity_(capacity),
+      num_leaves_(capacity <= 1 ? 1 : std::bit_ceil(capacity)),
+      num_internal_(num_leaves_ - 1),
+      kind_(kind),
+      identity_(identity) {
+    if (capacity == 0) {
+        throw std::invalid_argument(
+            "FArraySimAggregate: capacity must be >= 1");
+    }
+    const std::uint32_t total = num_internal_ + num_leaves_;
+    vars_.reserve(total);
+    for (std::uint32_t i = 0; i < total; ++i) {
+        const bool leaf = i >= num_internal_;
+        vars_.push_back(
+            mem.allocate(name + (leaf ? ".leaf" : ".node") + std::to_string(i),
+                         PackedNode::pack(0, identity)));
+    }
+}
+
+std::int64_t FArraySimAggregate::combine(std::int64_t a,
+                                         std::int64_t b) const {
+    switch (kind_) {
+        case AggKind::Sum: return a + b;
+        case AggKind::Max: return std::max(a, b);
+        case AggKind::Min: return std::min(a, b);
+    }
+    return a;
+}
+
+sim::SimTask<std::int64_t> FArraySimAggregate::read_slot(sim::Process& p,
+                                                         std::uint32_t u) {
+    const Word w = co_await p.read(vars_[u]);
+    co_return PackedNode::value(w);
+}
+
+sim::SimTask<bool> FArraySimAggregate::refresh(sim::Process& p,
+                                               std::uint32_t u) {
+    const Word old = co_await p.read(vars_[u]);
+    const std::int64_t left = co_await read_slot(p, 2 * u + 1);
+    const std::int64_t right = co_await read_slot(p, 2 * u + 2);
+    const Word desired =
+        PackedNode::pack(PackedNode::version(old) + 1,
+                         static_cast<std::int32_t>(combine(left, right)));
+    const Word prior = co_await p.cas(vars_[u], old, desired);
+    co_return prior == old;
+}
+
+sim::SimTask<void> FArraySimAggregate::update(sim::Process& p,
+                                              std::uint32_t slot,
+                                              std::int32_t value) {
+    if (slot >= capacity_) {
+        throw std::invalid_argument("FArraySimAggregate::update: bad slot");
+    }
+    const std::uint32_t leaf = num_internal_ + slot;
+    co_await p.write(vars_[leaf], PackedNode::pack(0, value));
+    if (num_internal_ == 0) {
+        co_return;
+    }
+    std::uint32_t u = (leaf - 1) / 2;
+    for (;;) {
+        const bool ok = co_await refresh(p, u);
+        if (!ok) {
+            co_await refresh(p, u);
+        }
+        if (u == 0) {
+            break;
+        }
+        u = (u - 1) / 2;
+    }
+}
+
+sim::SimTask<std::int64_t> FArraySimAggregate::read(sim::Process& p) {
+    if (num_internal_ == 0) {
+        co_return co_await read_slot(p, 0);
+    }
+    const Word w = co_await p.read(vars_[0]);
+    co_return PackedNode::value(w);
+}
+
+std::int64_t FArraySimAggregate::peek_exact(const Memory& mem) const {
+    std::int64_t agg = identity_;
+    for (std::uint32_t i = 0; i < capacity_; ++i) {
+        agg = combine(agg,
+                      PackedNode::value(mem.peek(vars_[num_internal_ + i])));
+    }
+    return agg;
+}
+
+std::int64_t FArraySimAggregate::peek_root(const Memory& mem) const {
+    return PackedNode::value(mem.peek(vars_[0]));
+}
+
+}  // namespace rwr::counter

@@ -1,0 +1,73 @@
+// General f-array (Jayanti, PODC 2002) for the simulator.
+//
+// The paper's Algorithm 1 only needs the *counter* instance (sum of
+// per-process deltas -- counter/sim_counter.hpp), but Jayanti's
+// construction computes any associative aggregate f over K single-writer
+// registers with O(log K)-step updates and O(1)-step reads. We provide the
+// general object (sum / max / min over per-slot values) both for substrate
+// completeness and because the same double-refresh propagation argument is
+// exercised over non-invertible aggregates (max has no inverse, so "lost
+// refresh" bugs manifest differently than for sums).
+//
+// update(slot, value) overwrites the slot's register and propagates;
+// read() returns f(values) from the root in one step.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "rmr/memory.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::counter {
+
+enum class AggKind : std::uint8_t { Sum, Max, Min };
+
+[[nodiscard]] constexpr const char* to_string(AggKind k) {
+    switch (k) {
+        case AggKind::Sum: return "sum";
+        case AggKind::Max: return "max";
+        case AggKind::Min: return "min";
+    }
+    return "?";
+}
+
+class FArraySimAggregate {
+   public:
+    FArraySimAggregate(Memory& mem, const std::string& name,
+                       std::uint32_t capacity, AggKind kind,
+                       std::int32_t identity);
+
+    /// Overwrites slot's register with `value` and propagates: Θ(log K)
+    /// steps, wait-free.
+    sim::SimTask<void> update(sim::Process& p, std::uint32_t slot,
+                              std::int32_t value);
+
+    /// Returns f over all slot registers: one shared step.
+    sim::SimTask<std::int64_t> read(sim::Process& p);
+
+    /// Test hook: recompute the exact aggregate from the leaves.
+    [[nodiscard]] std::int64_t peek_exact(const Memory& mem) const;
+    [[nodiscard]] std::int64_t peek_root(const Memory& mem) const;
+
+    [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+    [[nodiscard]] AggKind kind() const { return kind_; }
+
+   private:
+    [[nodiscard]] std::int64_t combine(std::int64_t a, std::int64_t b) const;
+
+    sim::SimTask<bool> refresh(sim::Process& p, std::uint32_t u);
+    sim::SimTask<std::int64_t> read_slot(sim::Process& p, std::uint32_t u);
+
+    std::uint32_t capacity_;
+    std::uint32_t num_leaves_;
+    std::uint32_t num_internal_;
+    AggKind kind_;
+    std::int32_t identity_;
+    std::vector<VarId> vars_;
+};
+
+}  // namespace rwr::counter

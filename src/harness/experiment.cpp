@@ -1,0 +1,119 @@
+#include "harness/experiment.hpp"
+
+#include <algorithm>
+
+namespace rwr::harness {
+
+namespace {
+
+struct BuiltScenario {
+    std::unique_ptr<sim::System> sys;
+    std::unique_ptr<sim::SimRWLock> lock;
+    std::unique_ptr<sim::MutualExclusionChecker> checker;
+    /// One record vector per process, stable address for the drivers.
+    std::shared_ptr<std::vector<std::vector<sim::PassageRecord>>> records;
+};
+
+BuiltScenario build(const ExperimentConfig& cfg, bool throw_on_violation) {
+    BuiltScenario b;
+    b.sys = std::make_unique<sim::System>(cfg.protocol);
+    b.lock = make_sim_lock(cfg.lock, b.sys->memory(), cfg.n, cfg.m, cfg.f);
+    b.records =
+        std::make_shared<std::vector<std::vector<sim::PassageRecord>>>();
+    b.records->resize(cfg.n + cfg.m);
+
+    for (std::uint32_t r = 0; r < cfg.n; ++r) {
+        sim::Process& p = b.sys->add_process(sim::Role::Reader);
+        sim::DriveConfig dc;
+        dc.passages = cfg.passages;
+        dc.cs_steps = cfg.cs_steps;
+        dc.records = &(*b.records)[p.id()];
+        p.set_task(sim::drive_passages(*b.lock, p, dc));
+    }
+    for (std::uint32_t w = 0; w < cfg.m; ++w) {
+        sim::Process& p = b.sys->add_process(sim::Role::Writer);
+        sim::DriveConfig dc;
+        dc.passages = cfg.passages;
+        dc.cs_steps = cfg.cs_steps;
+        dc.records = &(*b.records)[p.id()];
+        p.set_task(sim::drive_passages(*b.lock, p, dc));
+    }
+    if (cfg.check_mutual_exclusion) {
+        b.checker = std::make_unique<sim::MutualExclusionChecker>(
+            throw_on_violation);
+        b.sys->add_observer(b.checker.get());
+    }
+    return b;
+}
+
+void aggregate(const std::vector<std::vector<sim::PassageRecord>>& records,
+               const sim::System& sys, RoleStats* readers,
+               RoleStats* writers) {
+    for (ProcId id = 0; id < sys.num_processes(); ++id) {
+        RoleStats& rs =
+            sys.process(id).is_reader() ? *readers : *writers;
+        for (const auto& rec : records[id]) {
+            ++rs.num_passages;
+            for (int s = 0; s < kNumSections; ++s) {
+                rs.mean_rmrs[s] += static_cast<double>(rec.delta.rmrs[s]);
+                rs.max_rmrs[s] = std::max(rs.max_rmrs[s], rec.delta.rmrs[s]);
+                rs.mean_steps[s] += static_cast<double>(rec.delta.steps[s]);
+                rs.max_steps[s] =
+                    std::max(rs.max_steps[s], rec.delta.steps[s]);
+            }
+            const auto prmrs = rec.delta.passage_rmrs();
+            rs.mean_passage_rmrs += static_cast<double>(prmrs);
+            rs.max_passage_rmrs = std::max(rs.max_passage_rmrs, prmrs);
+        }
+    }
+    for (RoleStats* rs : {readers, writers}) {
+        if (rs->num_passages == 0) {
+            continue;
+        }
+        const auto denom = static_cast<double>(rs->num_passages);
+        for (int s = 0; s < kNumSections; ++s) {
+            rs->mean_rmrs[s] /= denom;
+            rs->mean_steps[s] /= denom;
+        }
+        rs->mean_passage_rmrs /= denom;
+    }
+}
+
+}  // namespace
+
+ExperimentResult run_experiment(const ExperimentConfig& cfg) {
+    BuiltScenario b = build(cfg, /*throw_on_violation=*/false);
+    ExperimentResult res;
+
+    std::unique_ptr<sim::Scheduler> sched;
+    if (cfg.sched == SchedKind::RoundRobin) {
+        sched = std::make_unique<sim::RoundRobinScheduler>();
+    } else {
+        sched = std::make_unique<sim::RandomScheduler>(cfg.seed);
+    }
+    const auto run_res = sim::run(*b.sys, *sched, cfg.max_steps);
+    b.sys->check_failures();
+
+    res.finished = run_res.all_finished;
+    res.steps = run_res.steps;
+    if (b.checker) {
+        res.max_concurrent_readers = b.checker->max_concurrent_readers();
+        res.me_violations = b.checker->violations();
+    }
+    aggregate(*b.records, *b.sys, &res.readers, &res.writers);
+    return res;
+}
+
+sim::ScenarioFactory scenario_factory(const ExperimentConfig& cfg) {
+    return [cfg]() {
+        BuiltScenario b = build(cfg, /*throw_on_violation=*/true);
+        sim::Scenario sc;
+        sc.sys = std::move(b.sys);
+        sc.lock = std::move(b.lock);
+        sc.checker = std::move(b.checker);
+        sc.extra = b.records;
+        return sc;
+    };
+}
+
+}  // namespace rwr::harness

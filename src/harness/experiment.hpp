@@ -1,0 +1,71 @@
+// Passage experiments: build a system with one lock and n readers + m
+// writers each performing `passages` passages, run it under a chosen
+// scheduler, and aggregate per-section RMR statistics. This is the engine
+// behind experiments E1, E3, E7, E8 and E10.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/locks.hpp"
+#include "rmr/stats.hpp"
+#include "sim/checker.hpp"
+#include "sim/explorer.hpp"
+#include "sim/rwlock.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/system.hpp"
+
+namespace rwr::harness {
+
+enum class SchedKind { RoundRobin, Random };
+
+struct ExperimentConfig {
+    LockKind lock = LockKind::Af;
+    Protocol protocol = Protocol::WriteBack;
+    std::uint32_t n = 4;          ///< Readers.
+    std::uint32_t m = 1;          ///< Writers.
+    std::uint32_t f = 1;          ///< A_f parameter.
+    std::uint64_t passages = 4;   ///< Passages per process.
+    std::uint64_t cs_steps = 1;   ///< Local steps inside the CS.
+    SchedKind sched = SchedKind::Random;
+    std::uint64_t seed = 1;
+    std::uint64_t max_steps = 50'000'000;
+    bool check_mutual_exclusion = true;
+};
+
+/// Per-role aggregate over all per-passage records.
+struct RoleStats {
+    double mean_rmrs[kNumSections] = {0, 0, 0, 0};
+    std::uint64_t max_rmrs[kNumSections] = {0, 0, 0, 0};
+    double mean_steps[kNumSections] = {0, 0, 0, 0};
+    std::uint64_t max_steps[kNumSections] = {0, 0, 0, 0};
+    double mean_passage_rmrs = 0;
+    std::uint64_t max_passage_rmrs = 0;
+    std::uint64_t num_passages = 0;
+
+    [[nodiscard]] double mean_in(Section s) const {
+        return mean_rmrs[static_cast<int>(s)];
+    }
+    [[nodiscard]] std::uint64_t max_in(Section s) const {
+        return max_rmrs[static_cast<int>(s)];
+    }
+};
+
+struct ExperimentResult {
+    bool finished = false;
+    std::uint64_t steps = 0;
+    RoleStats readers;
+    RoleStats writers;
+    std::uint32_t max_concurrent_readers = 0;
+    std::uint64_t me_violations = 0;
+};
+
+/// Runs the configured experiment once.
+ExperimentResult run_experiment(const ExperimentConfig& cfg);
+
+/// Builds an explorer scenario factory for model checking this config.
+sim::ScenarioFactory scenario_factory(const ExperimentConfig& cfg);
+
+}  // namespace rwr::harness

@@ -1,0 +1,78 @@
+// Minimal fixed-width table printer for the bench binaries: the benches
+// print the paper-reproduction tables (EXPERIMENTS.md records them), so the
+// output format favors aligned human-readable columns.
+#pragma once
+
+#include <concepts>
+#include <cstdio>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace rwr::harness {
+
+class Table {
+   public:
+    explicit Table(std::vector<std::string> headers)
+        : headers_(std::move(headers)) {}
+
+    Table& row(std::vector<std::string> cells) {
+        rows_.push_back(std::move(cells));
+        return *this;
+    }
+
+    void print(std::ostream& os = std::cout) const {
+        std::vector<std::size_t> widths(headers_.size());
+        for (std::size_t c = 0; c < headers_.size(); ++c) {
+            widths[c] = headers_[c].size();
+        }
+        for (const auto& r : rows_) {
+            for (std::size_t c = 0; c < r.size() && c < widths.size(); ++c) {
+                widths[c] = std::max(widths[c], r[c].size());
+            }
+        }
+        auto line = [&] {
+            os << '+';
+            for (const auto w : widths) {
+                os << std::string(w + 2, '-') << '+';
+            }
+            os << '\n';
+        };
+        auto print_row = [&](const std::vector<std::string>& r) {
+            os << '|';
+            for (std::size_t c = 0; c < widths.size(); ++c) {
+                const std::string& cell = c < r.size() ? r[c] : "";
+                os << ' ' << std::setw(static_cast<int>(widths[c]))
+                   << std::right << cell << " |";
+            }
+            os << '\n';
+        };
+        line();
+        print_row(headers_);
+        line();
+        for (const auto& r : rows_) {
+            print_row(r);
+        }
+        line();
+    }
+
+   private:
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string fmt(double v, int prec = 1) {
+    std::ostringstream os;
+    os << std::fixed << std::setprecision(prec) << v;
+    return os.str();
+}
+
+template <typename T>
+    requires std::integral<T>
+inline std::string fmt(T v) {
+    return std::to_string(v);
+}
+
+}  // namespace rwr::harness

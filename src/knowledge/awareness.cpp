@@ -1,0 +1,133 @@
+#include "knowledge/awareness.hpp"
+
+#include <algorithm>
+
+namespace rwr::knowledge {
+
+AwarenessTracker::AwarenessTracker(std::size_t num_processes,
+                                   std::size_t num_variables)
+    : num_processes_(num_processes) {
+    aw_.reserve(num_processes);
+    for (std::size_t p = 0; p < num_processes; ++p) {
+        aw_.emplace_back(num_processes);
+        aw_.back().set(static_cast<ProcId>(p));
+    }
+    fam_.assign(num_variables, PSet(num_processes));
+    blind_.assign(num_variables, {});
+    expanding_count_.assign(num_processes, 0);
+}
+
+void AwarenessTracker::reset_fragment() {
+    for (std::size_t p = 0; p < num_processes_; ++p) {
+        aw_[p].clear();
+        aw_[p].set(static_cast<ProcId>(p));
+    }
+    for (auto& f : fam_) {
+        f.clear();
+    }
+    std::fill(expanding_count_.begin(), expanding_count_.end(), 0);
+    total_expanding_ = 0;
+    // lemma1_violations_ is deliberately not reset: it is a global soundness
+    // counter for the whole run.
+}
+
+void AwarenessTracker::ensure_var(VarId v) {
+    if (v.index >= fam_.size()) {
+        fam_.resize(v.index + 1, PSet(num_processes_));
+        blind_.resize(v.index + 1);
+    }
+}
+
+bool AwarenessTracker::would_expand(ProcId p, const Op& op) const {
+    if (!op.touches_memory() || !op.is_reading()) {
+        return false;
+    }
+    if (op.var.index >= fam_.size()) {
+        return false;  // Variable never written: F = ∅.
+    }
+    return !fam_[op.var.index].subset_of(aw_[p]);
+}
+
+void AwarenessTracker::on_step(const sim::System& sys, const sim::Process& p,
+                               const Op& op, const OpResult& res) {
+    (void)sys;
+    if (!op.touches_memory()) {
+        return;
+    }
+    ensure_var(op.var);
+    const ProcId pid = p.id();
+    const bool expanding = would_expand(pid, op);
+    std::vector<ProcId>& blind = blind_[op.var.index];
+    const bool blind_held =
+        std::find(blind.begin(), blind.end(), pid) != blind.end();
+    if (expanding) {
+        ++expanding_count_[pid];
+        ++total_expanding_;
+        if (!res.rmr) {
+            if (blind_held) {
+                ++blind_hits_;  // Cost charged to the earlier blind write.
+            } else {
+                ++lemma1_violations_;
+            }
+        }
+    }
+
+    PSet& aw = aw_[pid];
+    PSet& fam = fam_[op.var.index];
+
+    switch (op.code) {
+        case OpCode::Read:
+            // Definition 2, case 2: AW(p) ∪= F(v).
+            aw |= fam;
+            blind.erase(std::remove(blind.begin(), blind.end(), pid),
+                        blind.end());
+            break;
+        case OpCode::Write:
+            // Definition 1, case 1: a non-trivial write overwrites v, so
+            // F(v) becomes exactly AW(p) (the writer's awareness just before
+            // the step -- unchanged by the step, since a write reads nothing).
+            if (res.nontrivial) {
+                fam = aw;
+            }
+            // Any write invalidates other holders; the writer now holds the
+            // line. It holds it "blind" if it still doesn't know F(v).
+            blind.clear();
+            if (!fam.subset_of(aw)) {
+                blind.push_back(pid);
+            }
+            break;
+        case OpCode::Cas:
+        case OpCode::FetchAdd:
+            // Reading half first (Definition 2): AW(p) ∪= F(v).
+            aw |= fam;
+            // Writing half (Definition 1, case 2): if non-trivial,
+            // F(v) ∪= AW(p, before) -- and since AW(p, after) =
+            // AW(p, before) ∪ F(v, before), that equals setting
+            // F(v) = AW(p, after) (cf. Observation 2).
+            if (res.nontrivial) {
+                fam = aw;
+            }
+            blind.clear();  // CAS/FAA read the line: never blind afterwards.
+            break;
+        case OpCode::Local:
+            break;
+    }
+}
+
+std::size_t AwarenessTracker::max_awareness() const {
+    std::size_t m = 0;
+    for (const auto& s : aw_) {
+        m = std::max(m, s.count());
+    }
+    return m;
+}
+
+std::size_t AwarenessTracker::max_familiarity() const {
+    std::size_t m = 0;
+    for (const auto& s : fam_) {
+        m = std::max(m, s.count());
+    }
+    return m;
+}
+
+}  // namespace rwr::knowledge

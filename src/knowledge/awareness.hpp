@@ -1,0 +1,109 @@
+// The paper's knowledge formalism over execution fragments (Section 3.2).
+//
+//   Definition 1 (familiarity set F(v, C->E)): determined by the last
+//     non-trivial step s applied to v in the fragment. If s is a write by p,
+//     F(v) becomes AW(p) as of just before s; if s is a (successful,
+//     value-changing) CAS by p, F(v) becomes AW(p) ∪ F(v). Variables never
+//     written non-trivially have F = ∅.
+//
+//   Definition 2 (awareness set AW(p, C->E)): starts as {p}; each reading
+//     step (read or CAS) by p on v extends AW(p) by F(v) as of just before
+//     the step.
+//
+//   Definition 3 (expanding step): a step that strictly grows some process's
+//     awareness set. By Fact 1 that process is the reader itself, so a
+//     pending step is expanding iff it is a reading step on v with
+//     F(v) ⊄ AW(p). Expanding-ness of a *pending* op is exactly what the
+//     lower-bound adversary schedules around.
+//
+//   Lemma 1: every expanding step incurs an RMR. The tracker cross-checks
+//     this against the memory model on every executed step (the count of
+//     violations must stay zero -- experiment E4).
+//
+// The tracker is fragment-based: `reset_fragment()` re-bases knowledge at
+// the current configuration (used at C1, the start of the readers' exit
+// fragment E2), which is the paper's key extension of the Attiya-Hendler
+// formalism.
+//
+// Fetch-and-add (baseline-only primitive) is treated like CAS: it reads and
+// non-trivially writes. The paper's tradeoff does NOT hold for FAA -- the
+// benches use exactly this tracker to demonstrate where the proof breaks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "knowledge/pset.hpp"
+#include "sim/system.hpp"
+
+namespace rwr::knowledge {
+
+class AwarenessTracker final : public sim::StepObserver {
+   public:
+    AwarenessTracker(std::size_t num_processes, std::size_t num_variables);
+
+    /// Re-base the fragment at the current configuration: AW(p) = {p} for
+    /// every p, F(v) = ∅ for every v.
+    void reset_fragment();
+
+    /// Would executing `op` by `p` right now be an expanding step?
+    [[nodiscard]] bool would_expand(ProcId p, const Op& op) const;
+
+    void on_step(const sim::System& sys, const sim::Process& p, const Op& op,
+                 const OpResult& res) override;
+
+    [[nodiscard]] const PSet& awareness(ProcId p) const { return aw_.at(p); }
+    [[nodiscard]] const PSet& familiarity(VarId v) const {
+        return fam_.at(v.index);
+    }
+
+    /// Expanding steps executed by `p` since the last reset.
+    [[nodiscard]] std::uint64_t expanding_steps(ProcId p) const {
+        return expanding_count_.at(p);
+    }
+
+    /// max_p |AW(p)| over all processes.
+    [[nodiscard]] std::size_t max_awareness() const;
+    /// max_v |F(v)| over all variables.
+    [[nodiscard]] std::size_t max_familiarity() const;
+    /// M(C->E) = max over both (the quantity bounded by 3^j in Theorem 5).
+    [[nodiscard]] std::size_t max_knowledge() const {
+        return std::max(max_awareness(), max_familiarity());
+    }
+
+    /// Lemma 1 cross-check: executed expanding steps that did NOT incur an
+    /// RMR and are not explained by a preceding "blind" write RMR (see
+    /// below). The paper proves this is impossible; must always be zero.
+    ///
+    /// Blind writes: in the write-back protocol a process can gain an
+    /// exclusive copy of v by *writing* it -- including a trivial write of
+    /// the current value -- without ever reading it, so its next read of v
+    /// is RMR-free yet may formally expand its awareness. The extended
+    /// abstract's Lemma 1 glosses over this corner; the RMR cost is still
+    /// there (it was paid by the write that fetched the line), so we charge
+    /// the expansion to that write and do not count it as a violation.
+    /// `blind_hits()` reports how often this happened.
+    [[nodiscard]] std::uint64_t lemma1_violations() const {
+        return lemma1_violations_;
+    }
+    [[nodiscard]] std::uint64_t blind_hits() const { return blind_hits_; }
+    [[nodiscard]] std::uint64_t total_expanding_steps() const {
+        return total_expanding_;
+    }
+
+   private:
+    void ensure_var(VarId v);
+
+    std::size_t num_processes_;
+    std::vector<PSet> aw_;                      ///< Per process.
+    std::vector<PSet> fam_;                     ///< Per variable.
+    std::vector<std::uint64_t> expanding_count_;  ///< Per process.
+    /// Per variable: processes holding the line only via a write they issued
+    /// while unaware of the variable's familiarity set (tiny lists).
+    std::vector<std::vector<ProcId>> blind_;
+    std::uint64_t lemma1_violations_ = 0;
+    std::uint64_t blind_hits_ = 0;
+    std::uint64_t total_expanding_ = 0;
+};
+
+}  // namespace rwr::knowledge

@@ -1,0 +1,128 @@
+#include "knowledge/erasure.hpp"
+
+#include <sstream>
+
+namespace rwr::knowledge {
+
+std::vector<std::size_t> erase(const std::vector<sim::TraceStep>& trace,
+                               ProcId q, std::size_t num_processes) {
+    // Recompute knowledge along the ORIGINAL trace (Definitions 1-2, using
+    // the recorded non-triviality flags) and drop each step whose executor
+    // is -- or becomes, by executing it -- aware of q.
+    std::vector<PSet> aw;
+    aw.reserve(num_processes);
+    for (std::size_t p = 0; p < num_processes; ++p) {
+        aw.emplace_back(num_processes);
+        aw.back().set(static_cast<ProcId>(p));
+    }
+    std::vector<PSet> fam;  // Grown on demand.
+
+    auto fam_of = [&](VarId v) -> PSet& {
+        if (v.index >= fam.size()) {
+            fam.resize(v.index + 1, PSet(num_processes));
+        }
+        return fam[v.index];
+    };
+
+    std::vector<std::size_t> kept;
+    kept.reserve(trace.size());
+    for (std::size_t i = 0; i < trace.size(); ++i) {
+        const auto& s = trace[i];
+        PSet& a = aw[s.pid];
+        PSet& f = fam_of(s.op.var);
+
+        // Would p be aware of q after this step?
+        bool aware_after = s.pid == q || a.test(q);
+        if (!aware_after && s.op.is_reading() && f.test(q)) {
+            aware_after = true;  // The step itself imports q's knowledge.
+        }
+
+        // Knowledge bookkeeping happens on ALL original steps (awareness is
+        // defined over the original execution, not the erased one).
+        if (s.op.is_reading()) {
+            a |= f;
+        }
+        if (s.res.nontrivial) {
+            f = a;  // Write: overwrite; CAS/FAA: F ∪ AW == AW after the read
+                    // half (Observation 2).
+        }
+
+        if (!aware_after) {
+            kept.push_back(i);
+        }
+    }
+    return kept;
+}
+
+ErasureResult replay(const std::vector<Word>& initial_values,
+                     const std::vector<sim::TraceStep>& trace,
+                     const std::vector<std::size_t>& kept_indices) {
+    ErasureResult res;
+    res.kept = kept_indices.size();
+    res.removed = trace.size() - kept_indices.size();
+
+    std::vector<Word> mem = initial_values;
+    auto val = [&mem](VarId v) -> Word& {
+        if (v.index >= mem.size()) {
+            mem.resize(v.index + 1, 0);
+        }
+        return mem[v.index];
+    };
+
+    for (std::size_t k = 0; k < kept_indices.size(); ++k) {
+        const auto& s = trace[kept_indices[k]];
+        Word& stored = val(s.op.var);
+        Word response = stored;
+        bool nontrivial = false;
+        switch (s.op.code) {
+            case OpCode::Read:
+                break;
+            case OpCode::Write:
+                nontrivial = stored != s.op.arg0;
+                stored = s.op.arg0;
+                break;
+            case OpCode::Cas:
+                if (stored == s.op.arg0) {
+                    nontrivial = stored != s.op.arg1;
+                    stored = s.op.arg1;
+                }
+                break;
+            case OpCode::FetchAdd:
+                nontrivial = s.op.arg0 != 0;
+                stored = stored + s.op.arg0;
+                break;
+            case OpCode::Local:
+                continue;
+        }
+        // Legality: every reading step must return exactly the response it
+        // returned originally (that is all a process can observe; a plain
+        // write's triviality may legitimately differ in the erased
+        // execution because the value it overwrites may have changed --
+        // the writer cannot tell). CAS/FAA effects are determined by their
+        // responses, so the response check covers them.
+        (void)nontrivial;
+        const bool response_ok =
+            !s.op.is_reading() || response == s.res.value;
+        if (!response_ok) {
+            res.legal = false;
+            res.first_mismatch = k;
+            std::ostringstream os;
+            os << "kept step " << k << " (trace index " << kept_indices[k]
+               << "): op " << to_string(s.op.code) << " on var "
+               << s.op.var.index << " returned " << response
+               << " in replay but " << s.res.value << " originally";
+            res.detail = os.str();
+            return res;
+        }
+    }
+    res.legal = true;
+    return res;
+}
+
+ErasureResult erase_and_replay(const std::vector<Word>& initial_values,
+                               const std::vector<sim::TraceStep>& trace,
+                               ProcId q, std::size_t num_processes) {
+    return replay(initial_values, trace, erase(trace, q, num_processes));
+}
+
+}  // namespace rwr::knowledge

@@ -1,0 +1,55 @@
+// Executable Lemma 3 (the erasure lemma).
+//
+// Paper: "We construct from E2 E3 a sequence of events E' as follows: We
+// remove from E2 E3 all the steps executed by R_o as well as all the steps
+// executed by other processes when they are aware of R_o. From Lemma 3,
+// C1 -> E' is an execution."
+//
+// `erase` removes from a recorded trace every step s by process p such that
+// q ∈ AW(p, prefix·s) -- i.e. p's own steps once (and including the moment)
+// it becomes aware of q, and all of q's steps. Awareness here is recomputed
+// over the trace with the same Definitions 1-2 the tracker uses.
+//
+// `replay` then re-executes the surviving subsequence from the recorded
+// initial values and checks it is a *legal* execution: every reading step
+// must return exactly the response it returned in the original execution
+// (and every write-type step must have the same triviality). Lemma 3 says
+// this always holds; `erase_and_replay` is the mechanical check, and the
+// test suite also confirms that NON-awareness-closed removals are caught as
+// illegal (the checker has teeth).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "knowledge/pset.hpp"
+#include "sim/trace.hpp"
+
+namespace rwr::knowledge {
+
+struct ErasureResult {
+    std::size_t kept = 0;
+    std::size_t removed = 0;
+    bool legal = false;            ///< Replay matched all responses.
+    std::size_t first_mismatch = 0;  ///< Index into the kept sequence.
+    std::string detail;
+};
+
+/// Computes the awareness-closed erasure of `q` from `trace` and returns
+/// the kept step indices (into `trace`).
+std::vector<std::size_t> erase(const std::vector<sim::TraceStep>& trace,
+                               ProcId q, std::size_t num_processes);
+
+/// Replays the subsequence of `trace` selected by `kept_indices` from
+/// `initial_values`, verifying response equality.
+ErasureResult replay(const std::vector<Word>& initial_values,
+                     const std::vector<sim::TraceStep>& trace,
+                     const std::vector<std::size_t>& kept_indices);
+
+/// Convenience: erase q, replay, report.
+ErasureResult erase_and_replay(const std::vector<Word>& initial_values,
+                               const std::vector<sim::TraceStep>& trace,
+                               ProcId q, std::size_t num_processes);
+
+}  // namespace rwr::knowledge

@@ -1,0 +1,180 @@
+#include "mutex/sim_mutex.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rwr::mutex {
+
+TournamentSimMutex::TournamentSimMutex(Memory& mem, const std::string& name,
+                                       std::uint32_t m)
+    : m_(m),
+      num_leaves_(m <= 1 ? 1 : std::bit_ceil(m)),
+      levels_(static_cast<std::uint32_t>(std::bit_width(num_leaves_) - 1)) {
+    if (m == 0) {
+        throw std::invalid_argument("TournamentSimMutex: m must be >= 1");
+    }
+    const std::uint32_t num_nodes = num_leaves_ - 1;  // 0 when m == 1.
+    nodes_.reserve(num_nodes);
+    for (std::uint32_t i = 0; i < num_nodes; ++i) {
+        Node n;
+        n.flag[0] = mem.allocate(name + ".n" + std::to_string(i) + ".flag0", 0);
+        n.flag[1] = mem.allocate(name + ".n" + std::to_string(i) + ".flag1", 0);
+        n.victim = mem.allocate(name + ".n" + std::to_string(i) + ".victim", 0);
+        nodes_.push_back(n);
+    }
+}
+
+sim::SimTask<void> TournamentSimMutex::node_enter(sim::Process& p,
+                                                  std::uint32_t n, Word side) {
+    const Node& node = nodes_[n];
+    co_await p.write(node.flag[side], 1);
+    co_await p.write(node.victim, side);
+    // Peterson spin: wait while the rival competes and we are the victim.
+    for (;;) {
+        const Word rival = co_await p.read(node.flag[1 - side]);
+        if (rival == 0) {
+            break;
+        }
+        const Word victim = co_await p.read(node.victim);
+        if (victim != side) {
+            break;
+        }
+    }
+}
+
+sim::SimTask<void> TournamentSimMutex::node_exit(sim::Process& p,
+                                                 std::uint32_t n, Word side) {
+    co_await p.write(nodes_[n].flag[side], 0);
+}
+
+sim::SimTask<void> TournamentSimMutex::enter(sim::Process& p,
+                                             std::uint32_t slot) {
+    if (slot >= m_) {
+        throw std::invalid_argument("TournamentSimMutex::enter: bad slot");
+    }
+    // Ascend leaf -> root. Leaf index in the conceptual full tree is
+    // (num_leaves_ - 1) + slot; at each step the node's side is the low bit
+    // of the child position.
+    std::uint32_t pos = (num_leaves_ - 1) + slot;
+    while (pos != 0) {
+        const std::uint32_t parent = (pos - 1) / 2;
+        const Word side = (pos == 2 * parent + 1) ? 0 : 1;
+        co_await node_enter(p, parent, side);
+        pos = parent;
+    }
+}
+
+sim::SimTask<void> TournamentSimMutex::exit(sim::Process& p,
+                                            std::uint32_t slot) {
+    if (slot >= m_) {
+        throw std::invalid_argument("TournamentSimMutex::exit: bad slot");
+    }
+    // Release top-down (reverse of acquisition order).
+    std::uint32_t path[32];
+    std::uint32_t depth = 0;
+    std::uint32_t pos = (num_leaves_ - 1) + slot;
+    while (pos != 0) {
+        path[depth++] = pos;
+        pos = (pos - 1) / 2;
+    }
+    // path[depth-1] is a child of the root; walk from the root downwards.
+    for (std::uint32_t i = depth; i-- > 0;) {
+        const std::uint32_t child = path[i];
+        const std::uint32_t parent = (child - 1) / 2;
+        const Word side = (child == 2 * parent + 1) ? 0 : 1;
+        co_await node_exit(p, parent, side);
+    }
+}
+
+McsSimMutex::McsSimMutex(Memory& mem, const std::string& name,
+                         std::uint32_t m, std::optional<ProcId> owner_base) {
+    if (m == 0) {
+        throw std::invalid_argument("McsSimMutex: m must be >= 1");
+    }
+    tail_ = mem.allocate(name + ".tail", 0);
+    locked_.reserve(m);
+    next_.reserve(m);
+    for (std::uint32_t s = 0; s < m; ++s) {
+        const ProcId owner =
+            owner_base.has_value() ? *owner_base + s : Memory::kNoOwner;
+        locked_.push_back(
+            mem.allocate(name + ".locked" + std::to_string(s), 0, owner));
+        next_.push_back(
+            mem.allocate(name + ".next" + std::to_string(s), 0, owner));
+    }
+}
+
+sim::SimTask<void> McsSimMutex::enter(sim::Process& p, std::uint32_t slot) {
+    if (slot >= locked_.size()) {
+        throw std::invalid_argument("McsSimMutex::enter: bad slot");
+    }
+    co_await p.write(next_[slot], 0);
+    co_await p.write(locked_[slot], 1);
+    // swap(tail, slot+1) via CAS retry.
+    Word pred;
+    for (;;) {
+        pred = co_await p.read(tail_);
+        const Word prior = co_await p.cas(tail_, pred, slot + 1);
+        if (prior == pred) {
+            break;
+        }
+    }
+    if (pred != 0) {
+        co_await p.write(next_[pred - 1], slot + 1);
+        for (;;) {  // Local spin on OUR node; predecessor clears it.
+            const Word l = co_await p.read(locked_[slot]);
+            if (l == 0) {
+                break;
+            }
+        }
+    }
+}
+
+sim::SimTask<void> McsSimMutex::exit(sim::Process& p, std::uint32_t slot) {
+    if (slot >= locked_.size()) {
+        throw std::invalid_argument("McsSimMutex::exit: bad slot");
+    }
+    Word nxt = co_await p.read(next_[slot]);
+    if (nxt == 0) {
+        // No visible successor: try to swing the tail back to null.
+        const Word prior = co_await p.cas(tail_, slot + 1, 0);
+        if (prior == slot + 1) {
+            co_return;
+        }
+        // A successor swapped the tail but hasn't linked yet: await it.
+        for (;;) {
+            nxt = co_await p.read(next_[slot]);
+            if (nxt != 0) {
+                break;
+            }
+        }
+    }
+    co_await p.write(locked_[nxt - 1], 0);  // Hand the lock over.
+}
+
+TasSimMutex::TasSimMutex(Memory& mem, const std::string& name)
+    : locked_(mem.allocate(name + ".locked", 0)) {}
+
+sim::SimTask<void> TasSimMutex::enter(sim::Process& p, std::uint32_t slot) {
+    (void)slot;
+    // Test-and-test-and-set: spin on a read, then attempt the CAS.
+    // (Deliberately sequential statements: GCC 12 miscompiles co_await
+    // inside short-circuit operators.)
+    for (;;) {
+        const Word observed = co_await p.read(locked_);
+        if (observed != 0) {
+            continue;
+        }
+        const Word prior = co_await p.cas(locked_, 0, 1);
+        if (prior == 0) {
+            co_return;
+        }
+    }
+}
+
+sim::SimTask<void> TasSimMutex::exit(sim::Process& p, std::uint32_t slot) {
+    (void)slot;
+    co_await p.write(locked_, 0);
+}
+
+}  // namespace rwr::mutex

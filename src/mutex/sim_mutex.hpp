@@ -1,0 +1,108 @@
+// m-process mutual exclusion locks for the simulator.
+//
+// TournamentSimMutex is the writers' lock WL of Algorithm 1 (paper line 2):
+// "an m-process starvation-free read/write mutual exclusion lock algorithm
+// satisfying Bounded Exit. There are such algorithms with logarithmic
+// per-passage RMR complexity (e.g. [21])."
+//
+// We implement the classic arbitration-tree construction: a perfect binary
+// tree with one two-process Peterson lock per internal node; process p
+// ascends from its leaf to the root, competing at each node as the
+// left/right child, and releases top-down on exit. Uses reads and writes
+// only. Per-passage RMR complexity in the CC model is O(log m): at each
+// node a process spins on two variables that its single rival writes O(1)
+// times per passage (bounded bypass 1 makes the spin RMR-bounded).
+//
+// TasSimMutex is the contrast baseline: one test-and-set word; correct and
+// deadlock-free but with unbounded RMR complexity under contention (every
+// failed CAS is an RMR) and no starvation freedom.
+#pragma once
+
+#include <optional>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rmr/memory.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::mutex {
+
+class SimMutex {
+   public:
+    virtual ~SimMutex() = default;
+    /// `slot` identifies the caller among the lock's m participants; each
+    /// concurrent caller must use a distinct slot in [0, m).
+    virtual sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot) = 0;
+    virtual sim::SimTask<void> exit(sim::Process& p, std::uint32_t slot) = 0;
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+class TournamentSimMutex final : public SimMutex {
+   public:
+    TournamentSimMutex(Memory& mem, const std::string& name, std::uint32_t m);
+
+    sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot) override;
+    sim::SimTask<void> exit(sim::Process& p, std::uint32_t slot) override;
+    [[nodiscard]] std::string name() const override { return "tournament"; }
+
+    [[nodiscard]] std::uint32_t levels() const { return levels_; }
+
+   private:
+    struct Node {
+        VarId flag[2];  ///< "I am competing" per side.
+        VarId victim;   ///< Which side yields.
+    };
+
+    /// Peterson two-process entry/exit at node `n`, competing as `side`.
+    sim::SimTask<void> node_enter(sim::Process& p, std::uint32_t n, Word side);
+    sim::SimTask<void> node_exit(sim::Process& p, std::uint32_t n, Word side);
+
+    std::uint32_t m_;
+    std::uint32_t num_leaves_;  ///< m rounded up to a power of two.
+    std::uint32_t levels_;      ///< log2(num_leaves_).
+    std::vector<Node> nodes_;   ///< Heap-ordered; nodes_[0] is the root.
+};
+
+/// MCS queue lock (Mellor-Crummey & Scott 1991), built from read, write and
+/// CAS (the fetch-and-store of the original is a CAS retry loop here).
+/// Each waiter spins on its OWN queue node, which its predecessor clears:
+/// local spinning under cache coherence AND under DSM when the per-slot
+/// nodes are homed at their owners (pass `owner_base`) -- the contrast to
+/// the Peterson tree, whose spin variables are shared (see bench_mutex and
+/// bench_dsm).
+///
+/// FIFO, hence starvation-free. NOT Bounded Exit: a releasing process whose
+/// successor has swapped the tail but not yet announced itself must wait
+/// one step for it -- which is why Algorithm 1's WL stays the Peterson
+/// tree (the paper requires WL to satisfy Bounded Exit).
+class McsSimMutex final : public SimMutex {
+   public:
+    McsSimMutex(Memory& mem, const std::string& name, std::uint32_t m,
+                std::optional<ProcId> owner_base = std::nullopt);
+
+    sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot) override;
+    sim::SimTask<void> exit(sim::Process& p, std::uint32_t slot) override;
+    [[nodiscard]] std::string name() const override { return "mcs"; }
+
+   private:
+    /// In tail_/next_: 0 = null, k+1 = queue node of slot k.
+    VarId tail_;
+    std::vector<VarId> locked_;  ///< Per slot; cleared by the predecessor.
+    std::vector<VarId> next_;    ///< Per slot; successor link.
+};
+
+class TasSimMutex final : public SimMutex {
+   public:
+    TasSimMutex(Memory& mem, const std::string& name);
+
+    sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot) override;
+    sim::SimTask<void> exit(sim::Process& p, std::uint32_t slot) override;
+    [[nodiscard]] std::string name() const override { return "tas"; }
+
+   private:
+    VarId locked_;
+};
+
+}  // namespace rwr::mutex

@@ -1,0 +1,180 @@
+// Native (std::atomic) implementation of the paper's Algorithm 1 -- the
+// A_f reader-writer lock family. Mirrors core/af_lock_sim.cpp line for
+// line; see that file and the paper's Section 4 for the protocol
+// walkthrough.
+//
+// Identity model: reader ids in [0, n), writer ids in [0, m), passed to
+// every call; one id must never be used by two threads concurrently. For an
+// id-less std::shared_mutex-style facade see native/shared_mutex.hpp.
+//
+// Guarantees (Theorem 18): Mutual Exclusion, Bounded Exit, Deadlock
+// Freedom, Concurrent Entering, no reader starvation. Writers can starve
+// under a continuous reader flood. RMR complexity: writers Θ(f + log m),
+// readers Θ(log(n/f)) per passage in the CC model.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "native/counter.hpp"
+#include "native/mutex.hpp"
+#include "native/spin.hpp"
+
+namespace rwr::native {
+
+class AfLock {
+   public:
+    /// `f` = number of reader groups = writer RMR budget; 1 <= f <= n.
+    AfLock(std::uint32_t n, std::uint32_t m, std::uint32_t f)
+        : n_(n), m_(m), f_(validated_f(n, m, f)), k_((n + f_ - 1) / f_),
+          wl_(m) {
+        const std::uint32_t groups = (n + k_ - 1) / k_;
+        for (std::uint32_t i = 0; i < groups; ++i) {
+            c_.push_back(std::make_unique<FArrayCounter>(k_));
+            w_.push_back(std::make_unique<FArrayCounter>(k_));
+        }
+        wsig_ = std::make_unique<Signal[]>(groups);
+        groups_ = groups;
+    }
+
+    void lock_shared(std::uint32_t reader_id) {
+        check_reader(reader_id);
+        const std::uint32_t g = reader_id / k_;
+        const std::uint32_t slot = reader_id % k_;
+
+        c_[g]->add(slot, +1);                       // Line 31.
+        const std::uint64_t sig = rsig_.load();     // Line 32.
+        if (rs_op(sig) == kRsWait) {                // Line 33.
+            const std::uint64_t seq = sig_seq(sig);
+            w_[g]->add(slot, +1);                   // Line 34.
+            help_wcs(g, seq);                       // Line 35.
+            Backoff backoff;
+            while (rsig_.load() == sig) {           // Line 36.
+                backoff.pause();
+            }
+            w_[g]->add(slot, -1);                   // Line 37.
+        }
+    }
+
+    void unlock_shared(std::uint32_t reader_id) {
+        check_reader(reader_id);
+        const std::uint32_t g = reader_id / k_;
+        const std::uint32_t slot = reader_id % k_;
+
+        c_[g]->add(slot, -1);                    // Line 40.
+        const std::uint64_t sig = rsig_.load();  // Line 41.
+        const std::uint64_t seq = sig_seq(sig);
+        if (rs_op(sig) == kRsPreEntry) {         // Line 42.
+            if (c_[g]->read() == 0) {            // Line 43.
+                std::uint64_t expected = pack(seq, kWsBot);
+                wsig_[g].word.compare_exchange_strong(
+                    expected, pack(seq, kWsProceed));  // Line 45.
+            }
+        } else if (rs_op(sig) == kRsWait) {  // Line 47.
+            help_wcs(g, seq);                // Line 48.
+        }
+    }
+
+    void lock(std::uint32_t writer_id) {
+        check_writer(writer_id);
+        wl_.lock(writer_id);  // Line 6.
+        const std::uint64_t seq = wseq_.load();  // Stable: we hold WL.
+
+        for (std::uint32_t i = 0; i < groups_; ++i) {  // Lines 7-9.
+            wsig_[i].word.store(pack(seq, kWsBot));
+        }
+        rsig_.store(pack(seq, kRsPreEntry));  // Line 11.
+
+        for (std::uint32_t i = 0; i < groups_; ++i) {  // Lines 12-17.
+            if (c_[i]->read() > 0) {                   // Line 13.
+                Backoff backoff;
+                while (wsig_[i].word.load() != pack(seq, kWsProceed)) {
+                    backoff.pause();  // Line 14.
+                }
+            }
+            wsig_[i].word.store(pack(seq, kWsWait));  // Line 16.
+        }
+
+        rsig_.store(pack(seq, kRsWait));  // Line 18.
+
+        for (std::uint32_t i = 0; i < groups_; ++i) {  // Lines 19-23.
+            if (c_[i]->read() != 0) {                  // Line 20.
+                Backoff backoff;
+                while (wsig_[i].word.load() != pack(seq, kWsCs)) {
+                    backoff.pause();  // Line 21.
+                }
+            }
+        }
+    }
+
+    void unlock(std::uint32_t writer_id) {
+        check_writer(writer_id);
+        const std::uint64_t seq = wseq_.load();
+        wseq_.store(seq + 1);                      // Line 25.
+        rsig_.store(pack(seq + 1, kRsNop));        // Line 26.
+        wl_.unlock(writer_id);                     // Line 27.
+    }
+
+    [[nodiscard]] std::uint32_t num_readers() const { return n_; }
+    [[nodiscard]] std::uint32_t num_writers() const { return m_; }
+    [[nodiscard]] std::uint32_t f() const { return f_; }
+    [[nodiscard]] std::uint32_t group_size() const { return k_; }
+
+   private:
+    struct alignas(64) Signal {
+        std::atomic<std::uint64_t> word{0};  // pack(0, kWsBot).
+    };
+
+    // Opcode encodings (see core/signals.hpp for the simulated twin).
+    static constexpr std::uint64_t kRsNop = 0, kRsPreEntry = 1, kRsWait = 2;
+    static constexpr std::uint64_t kWsBot = 0, kWsProceed = 1, kWsWait = 2,
+                                   kWsCs = 3;
+
+    static constexpr std::uint64_t pack(std::uint64_t seq, std::uint64_t op) {
+        return (seq << 8) | op;
+    }
+    static constexpr std::uint64_t sig_seq(std::uint64_t w) { return w >> 8; }
+    static constexpr std::uint64_t rs_op(std::uint64_t w) { return w & 0xff; }
+
+    void help_wcs(std::uint32_t g, std::uint64_t seq) {  // Lines 50-54.
+        const std::int64_t c = c_[g]->read();
+        const std::int64_t w = w_[g]->read();
+        if (c == w) {
+            std::uint64_t expected = pack(seq, kWsWait);
+            wsig_[g].word.compare_exchange_strong(expected,
+                                                  pack(seq, kWsCs));
+        }
+    }
+
+    static std::uint32_t validated_f(std::uint32_t n, std::uint32_t m,
+                                     std::uint32_t f) {
+        if (n == 0 || m == 0 || f == 0 || f > n) {
+            throw std::invalid_argument("AfLock: need n,m >= 1, 1 <= f <= n");
+        }
+        return f;
+    }
+
+    void check_reader(std::uint32_t id) const {
+        if (id >= n_) {
+            throw std::invalid_argument("AfLock: reader id out of range");
+        }
+    }
+    void check_writer(std::uint32_t id) const {
+        if (id >= m_) {
+            throw std::invalid_argument("AfLock: writer id out of range");
+        }
+    }
+
+    std::uint32_t n_, m_, f_, k_, groups_ = 0;
+    std::vector<std::unique_ptr<FArrayCounter>> c_;
+    std::vector<std::unique_ptr<FArrayCounter>> w_;
+    TournamentMutex wl_;
+    std::unique_ptr<Signal[]> wsig_;
+    alignas(64) std::atomic<std::uint64_t> wseq_{0};
+    alignas(64) std::atomic<std::uint64_t> rsig_{0};  // pack(0, kRsNop).
+};
+
+}  // namespace rwr::native

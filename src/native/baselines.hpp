@@ -1,0 +1,176 @@
+// Native baseline reader-writer locks, mirroring baselines/sim_baselines.*:
+// the one-word CAS lock and the FAA writer-preference lock. (For the
+// mutex-as-RW-lock baseline just use TournamentMutex or std::mutex; for an
+// industrial-strength comparison point the benches use std::shared_mutex.)
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <vector>
+
+#include "native/mutex.hpp"
+#include "native/spin.hpp"
+
+namespace rwr::native {
+
+/// One word: bit 40 = writer present, low 32 bits = reader count.
+class CentralizedRWLock {
+   public:
+    static constexpr std::uint64_t kWriterBit = std::uint64_t{1} << 40;
+
+    void lock_shared(std::uint32_t /*reader_id*/ = 0) {
+        Backoff backoff;
+        for (;;) {
+            std::uint64_t cur = state_.load();
+            if ((cur & kWriterBit) == 0) {
+                if (state_.compare_exchange_strong(cur, cur + 1)) {
+                    return;
+                }
+            }
+            backoff.pause();
+        }
+    }
+
+    void unlock_shared(std::uint32_t /*reader_id*/ = 0) {
+        state_.fetch_sub(1);  // Note: native CPUs give us FAA for free; the
+                              // simulated twin uses a CAS loop to stay
+                              // within the paper's primitive set.
+    }
+
+    void lock(std::uint32_t /*writer_id*/ = 0) {
+        Backoff backoff;
+        for (;;) {
+            std::uint64_t expected = 0;
+            if (state_.compare_exchange_strong(expected, kWriterBit)) {
+                return;
+            }
+            backoff.pause();
+        }
+    }
+
+    void unlock(std::uint32_t /*writer_id*/ = 0) {
+        state_.fetch_and(~kWriterBit);
+    }
+
+   private:
+    alignas(64) std::atomic<std::uint64_t> state_{0};
+};
+
+/// Centralized FAA lock, writer preference (constant-RMR hot paths, in the
+/// spirit of the Bhatt-Jayanti lock cited in the paper's Discussion).
+class FaaRWLock {
+   public:
+    explicit FaaRWLock(std::uint32_t m) : wl_(m) {}
+
+    static constexpr std::uint64_t kWriterBit = std::uint64_t{1} << 40;
+    static constexpr std::uint64_t kCountMask = 0xffffffffu;
+
+    void lock_shared(std::uint32_t /*reader_id*/ = 0) {
+        for (;;) {
+            const std::uint64_t prior = state_.fetch_add(1);
+            if ((prior & kWriterBit) == 0) {
+                return;
+            }
+            const std::uint64_t backout =
+                state_.fetch_sub(1);  // Signal like an exit would.
+            if ((backout & kWriterBit) != 0 && (backout & kCountMask) == 1) {
+                wgate_.store(1);
+            }
+            Backoff backoff;
+            while (rgate_.load() != 1) {
+                backoff.pause();
+            }
+        }
+    }
+
+    void unlock_shared(std::uint32_t /*reader_id*/ = 0) {
+        const std::uint64_t prior = state_.fetch_sub(1);
+        if ((prior & kWriterBit) != 0 && (prior & kCountMask) == 1) {
+            wgate_.store(1);
+        }
+    }
+
+    void lock(std::uint32_t writer_id) {
+        wl_.lock(writer_id);
+        rgate_.store(0);
+        wgate_.store(0);
+        const std::uint64_t prior = state_.fetch_add(kWriterBit);
+        if ((prior & kCountMask) != 0) {
+            Backoff backoff;
+            while (wgate_.load() != 1) {
+                backoff.pause();
+            }
+        }
+    }
+
+    void unlock(std::uint32_t writer_id) {
+        state_.fetch_sub(kWriterBit);
+        rgate_.store(1);
+        wl_.unlock(writer_id);
+    }
+
+   private:
+    TournamentMutex wl_;
+    alignas(64) std::atomic<std::uint64_t> state_{0};
+    alignas(64) std::atomic<std::uint64_t> rgate_{1};
+    alignas(64) std::atomic<std::uint64_t> wgate_{0};
+};
+
+/// Phase-fair reader-writer lock (Brandenburg-Anderson PF-T): reader and
+/// writer phases alternate, so neither side can starve the other. Built on
+/// fetch-and-add tickets -- see baselines/phase_fair.hpp for why this sits
+/// outside the paper's read/write/CAS tradeoff (it is the fairness side of
+/// the paper's open problem, not a frontier point).
+class PhaseFairRWLock {
+   public:
+    static constexpr std::uint64_t kRinc = 0x100;
+    static constexpr std::uint64_t kPres = 0x1;
+    static constexpr std::uint64_t kPhid = 0x2;
+    static constexpr std::uint64_t kWBits = kPres | kPhid;
+
+    explicit PhaseFairRWLock(std::uint32_t max_writers)
+        : writer_wbits_(max_writers, 0) {}
+
+    void lock_shared(std::uint32_t /*reader_id*/ = 0) {
+        const std::uint64_t w = rin_.fetch_add(kRinc) & kWBits;
+        if (w != 0) {
+            Backoff backoff;
+            while ((rin_.load() & kWBits) == w) {
+                backoff.pause();
+            }
+        }
+    }
+
+    void unlock_shared(std::uint32_t /*reader_id*/ = 0) {
+        rout_.fetch_add(kRinc);
+    }
+
+    void lock(std::uint32_t writer_id) {
+        const std::uint64_t ticket = win_.fetch_add(1);
+        Backoff backoff;
+        while (wout_.load() != ticket) {
+            backoff.pause();
+        }
+        const std::uint64_t w = kPres | ((ticket & 1) << 1);
+        writer_wbits_.at(writer_id) = w;
+        const std::uint64_t rticket = rin_.fetch_add(w) & ~kWBits;
+        backoff.reset();
+        while (rout_.load() != rticket) {
+            backoff.pause();
+        }
+    }
+
+    void unlock(std::uint32_t writer_id) {
+        rin_.fetch_sub(writer_wbits_.at(writer_id));
+        wout_.fetch_add(1);
+    }
+
+   private:
+    alignas(64) std::atomic<std::uint64_t> rin_{0};
+    alignas(64) std::atomic<std::uint64_t> rout_{0};
+    alignas(64) std::atomic<std::uint64_t> win_{0};
+    alignas(64) std::atomic<std::uint64_t> wout_{0};
+    std::vector<std::uint64_t> writer_wbits_;
+};
+
+}  // namespace rwr::native

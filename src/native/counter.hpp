@@ -1,0 +1,101 @@
+// Native (std::atomic) K-process f-array counter -- the same Jayanti-style
+// tree as counter/sim_counter.hpp, compiled to real atomics.
+//
+// add(slot, delta): update the slot's single-writer leaf, then double-
+// refresh every ancestor (read node, read children, CAS <version+1, sum>).
+// Wait-free, Θ(log K) steps. read(): one load of the root.
+//
+// Memory ordering: all operations use sequential consistency. These
+// algorithms (and the paper's model) assume an SC memory system; on x86 the
+// cost difference is confined to the stores, and correctness under weaker
+// orderings has not been analysed -- do not relax.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+namespace rwr::native {
+
+class FArrayCounter {
+   public:
+    explicit FArrayCounter(std::uint32_t capacity)
+        : capacity_(capacity),
+          num_leaves_(capacity <= 1 ? 1 : std::bit_ceil(capacity)),
+          num_internal_(num_leaves_ - 1),
+          nodes_(std::make_unique<Node[]>(num_internal_ + num_leaves_)) {
+        if (capacity == 0) {
+            throw std::invalid_argument("FArrayCounter: capacity must be >= 1");
+        }
+        for (std::uint32_t i = 0; i < num_internal_ + num_leaves_; ++i) {
+            nodes_[i].word.store(0, std::memory_order_relaxed);
+        }
+    }
+
+    /// Adds `delta` on behalf of `slot` (< capacity; one concurrent caller
+    /// per slot).
+    void add(std::uint32_t slot, std::int64_t delta) {
+        const std::uint32_t leaf = num_internal_ + slot;
+        // Single-writer leaf: plain RMW through seq_cst load/store.
+        const std::uint64_t cur = nodes_[leaf].word.load();
+        const auto next = static_cast<std::int32_t>(value_of(cur) + delta);
+        nodes_[leaf].word.store(pack(0, next));
+
+        if (num_internal_ == 0) {
+            return;  // K == 1: the leaf is the root.
+        }
+        std::uint32_t u = (leaf - 1) / 2;
+        for (;;) {
+            if (!refresh(u)) {
+                refresh(u);  // Double refresh; outcome irrelevant.
+            }
+            if (u == 0) {
+                break;
+            }
+            u = (u - 1) / 2;
+        }
+    }
+
+    [[nodiscard]] std::int64_t read() const {
+        return value_of(nodes_[0].word.load());
+    }
+
+    [[nodiscard]] std::uint32_t capacity() const { return capacity_; }
+
+   private:
+    struct alignas(64) Node {
+        std::atomic<std::uint64_t> word;
+    };
+
+    static constexpr std::uint64_t pack(std::uint32_t version,
+                                        std::int32_t value) {
+        return (static_cast<std::uint64_t>(version) << 32) |
+               static_cast<std::uint32_t>(value);
+    }
+    static constexpr std::int32_t value_of(std::uint64_t w) {
+        return static_cast<std::int32_t>(static_cast<std::uint32_t>(w));
+    }
+    static constexpr std::uint32_t version_of(std::uint64_t w) {
+        return static_cast<std::uint32_t>(w >> 32);
+    }
+
+    bool refresh(std::uint32_t u) {
+        std::uint64_t old = nodes_[u].word.load();
+        const std::int64_t left = value_of(nodes_[2 * u + 1].word.load());
+        const std::int64_t right = value_of(nodes_[2 * u + 2].word.load());
+        const std::uint64_t desired =
+            pack(version_of(old) + 1,
+                 static_cast<std::int32_t>(left + right));
+        return nodes_[u].word.compare_exchange_strong(old, desired);
+    }
+
+    std::uint32_t capacity_;
+    std::uint32_t num_leaves_;
+    std::uint32_t num_internal_;
+    std::unique_ptr<Node[]> nodes_;
+};
+
+}  // namespace rwr::native

@@ -1,0 +1,179 @@
+// Native m-slot mutual exclusion locks: the Peterson arbitration tree
+// (read/write only, O(log m) RMRs, starvation-free -- the writers' lock WL
+// of Algorithm 1) and a test-and-set baseline.
+//
+// Slots, not threads, are the identity: callers pass their slot index, and
+// one slot must never be used by two threads concurrently. This mirrors the
+// paper's model where process identity is part of the algorithm.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+
+#include "native/spin.hpp"
+
+namespace rwr::native {
+
+class TournamentMutex {
+   public:
+    explicit TournamentMutex(std::uint32_t m)
+        : m_(m),
+          num_leaves_(m <= 1 ? 1 : std::bit_ceil(m)),
+          nodes_(num_leaves_ > 1 ? std::make_unique<Node[]>(num_leaves_ - 1)
+                                 : nullptr) {
+        if (m == 0) {
+            throw std::invalid_argument("TournamentMutex: m must be >= 1");
+        }
+    }
+
+    void lock(std::uint32_t slot) {
+        check_slot(slot);
+        std::uint32_t pos = (num_leaves_ - 1) + slot;
+        while (pos != 0) {
+            const std::uint32_t parent = (pos - 1) / 2;
+            const int side = pos == 2 * parent + 1 ? 0 : 1;
+            node_lock(parent, side);
+            pos = parent;
+        }
+    }
+
+    void unlock(std::uint32_t slot) {
+        check_slot(slot);
+        // Release top-down (reverse of acquisition).
+        std::uint32_t path[32];
+        std::uint32_t depth = 0;
+        std::uint32_t pos = (num_leaves_ - 1) + slot;
+        while (pos != 0) {
+            path[depth++] = pos;
+            pos = (pos - 1) / 2;
+        }
+        for (std::uint32_t i = depth; i-- > 0;) {
+            const std::uint32_t child = path[i];
+            const std::uint32_t parent = (child - 1) / 2;
+            const int side = child == 2 * parent + 1 ? 0 : 1;
+            nodes_[parent].flag[side].store(0);
+        }
+    }
+
+    [[nodiscard]] std::uint32_t capacity() const { return m_; }
+
+   private:
+    struct alignas(64) Node {
+        std::atomic<std::uint32_t> flag[2] = {0, 0};
+        std::atomic<std::uint32_t> victim{0};
+    };
+
+    void node_lock(std::uint32_t n, int side) {
+        Node& node = nodes_[n];
+        node.flag[side].store(1);
+        node.victim.store(static_cast<std::uint32_t>(side));
+        Backoff backoff;
+        // Peterson: wait while the rival competes and we are the victim.
+        // seq_cst throughout -- Peterson is broken under weaker orderings.
+        for (;;) {
+            if (node.flag[1 - side].load() == 0) {
+                return;
+            }
+            if (node.victim.load() != static_cast<std::uint32_t>(side)) {
+                return;
+            }
+            backoff.pause();
+        }
+    }
+
+    void check_slot(std::uint32_t slot) const {
+        if (slot >= m_) {
+            throw std::invalid_argument("TournamentMutex: bad slot");
+        }
+    }
+
+    std::uint32_t m_;
+    std::uint32_t num_leaves_;
+    std::unique_ptr<Node[]> nodes_;
+};
+
+/// MCS queue lock from CAS (see mutex/sim_mutex.hpp for the discussion):
+/// FIFO, local-spin on per-slot nodes. The native twin of McsSimMutex.
+class McsMutex {
+   public:
+    explicit McsMutex(std::uint32_t m)
+        : m_(m), nodes_(std::make_unique<Node[]>(m)) {
+        if (m == 0) {
+            throw std::invalid_argument("McsMutex: m must be >= 1");
+        }
+    }
+
+    void lock(std::uint32_t slot) {
+        check_slot(slot);
+        Node& me = nodes_[slot];
+        me.next.store(0);
+        me.locked.store(1);
+        const std::uint64_t pred = tail_.exchange(slot + 1);
+        if (pred != 0) {
+            nodes_[pred - 1].next.store(slot + 1);
+            Backoff backoff;
+            while (me.locked.load() != 0) {
+                backoff.pause();
+            }
+        }
+    }
+
+    void unlock(std::uint32_t slot) {
+        check_slot(slot);
+        Node& me = nodes_[slot];
+        std::uint64_t nxt = me.next.load();
+        if (nxt == 0) {
+            std::uint64_t expected = slot + 1;
+            if (tail_.compare_exchange_strong(expected, 0)) {
+                return;
+            }
+            Backoff backoff;
+            while ((nxt = me.next.load()) == 0) {
+                backoff.pause();
+            }
+        }
+        nodes_[nxt - 1].locked.store(0);
+    }
+
+   private:
+    struct alignas(64) Node {
+        std::atomic<std::uint64_t> locked{0};
+        std::atomic<std::uint64_t> next{0};
+    };
+
+    void check_slot(std::uint32_t slot) const {
+        if (slot >= m_) {
+            throw std::invalid_argument("McsMutex: bad slot");
+        }
+    }
+
+    std::uint32_t m_;
+    alignas(64) std::atomic<std::uint64_t> tail_{0};
+    std::unique_ptr<Node[]> nodes_;
+};
+
+class TasMutex {
+   public:
+    void lock(std::uint32_t /*slot*/ = 0) {
+        Backoff backoff;
+        for (;;) {
+            if (locked_.load() == 0) {
+                std::uint32_t expected = 0;
+                if (locked_.compare_exchange_strong(expected, 1)) {
+                    return;
+                }
+            }
+            backoff.pause();
+        }
+    }
+
+    void unlock(std::uint32_t /*slot*/ = 0) { locked_.store(0); }
+
+   private:
+    std::atomic<std::uint32_t> locked_{0};
+};
+
+}  // namespace rwr::native

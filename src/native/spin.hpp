@@ -1,0 +1,48 @@
+// Spin-wait helper for native (std::atomic) lock implementations.
+//
+// All native locks in this library busy-wait exactly where the paper's
+// algorithms do (they are local-spin algorithms: each await loop re-reads a
+// variable that changes O(1) times per passage). On real multiprocessors the
+// spin body should pause; on oversubscribed machines it must yield, or a
+// spinner can monopolize the core the lock holder needs.
+#pragma once
+
+#include <thread>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#endif
+
+namespace rwr::native {
+
+inline void cpu_relax() {
+#if defined(__x86_64__) || defined(__i386__)
+    _mm_pause();
+#elif defined(__aarch64__)
+    asm volatile("yield");
+#else
+    std::this_thread::yield();
+#endif
+}
+
+/// Escalating backoff: pause a few times, then start yielding to the OS
+/// scheduler (essential on machines with fewer cores than threads).
+class Backoff {
+   public:
+    void pause() {
+        if (spins_ < kSpinLimit) {
+            ++spins_;
+            cpu_relax();
+        } else {
+            std::this_thread::yield();
+        }
+    }
+
+    void reset() { spins_ = 0; }
+
+   private:
+    static constexpr int kSpinLimit = 64;
+    int spins_ = 0;
+};
+
+}  // namespace rwr::native

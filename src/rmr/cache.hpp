@@ -1,0 +1,97 @@
+// Per-variable cache directory for the cache-coherent (CC) model.
+//
+// The paper (Section 2) quotes the protocol definitions from Golab et al.:
+//
+//   Write-through: "to read a variable v a process p must have a (valid)
+//   cached copy of v. If it does, p reads that copy without causing an RMR;
+//   otherwise, p causes an RMR that creates a cached copy of v. To write v,
+//   p causes an RMR that invalidates all other cached copies of v and writes
+//   v to main memory."
+//
+//   Write-back: "each cached copy is held in either shared or exclusive mode.
+//   To read a variable v, a process p must hold a cached copy of v in either
+//   mode. If it does, p reads that copy without causing an RMR. Otherwise, p
+//   causes an RMR that (a) eliminates any copy of v held in exclusive mode
+//   [downgrade to shared] and (b) creates a cached copy of v held in shared
+//   mode. To write v, p must have a cached copy of v held in exclusive mode.
+//   If it does, p writes that copy without causing RMRs. Otherwise, p causes
+//   an RMR that (a) invalidates all other cached copies ... and (b) creates a
+//   cached copy of v held in exclusive mode."
+//
+// We keep, per variable, the set of processes holding a valid copy plus (for
+// write-back) the identity of an exclusive holder if any. This directory
+// representation makes "invalidate all other copies" O(#holders), which
+// amortizes against the RMRs that created those copies.
+#pragma once
+
+#include <cstddef>
+#include <unordered_set>
+
+#include "rmr/types.hpp"
+
+namespace rwr {
+
+class CacheDirectory {
+   public:
+    /// Does `p` hold a valid copy (any mode)?
+    [[nodiscard]] bool holds(ProcId p) const {
+        return exclusive_ == p || sharers_.contains(p);
+    }
+
+    /// Does `p` hold the copy in exclusive mode (write-back only)?
+    [[nodiscard]] bool holds_exclusive(ProcId p) const { return exclusive_ == p; }
+
+    [[nodiscard]] bool has_exclusive() const { return exclusive_ != kNone; }
+
+    [[nodiscard]] std::size_t num_holders() const {
+        return sharers_.size() + (has_exclusive() ? 1 : 0);
+    }
+
+    /// Read miss, write-through: p gains a valid (shared) copy.
+    void add_shared(ProcId p) { sharers_.insert(p); }
+
+    /// Read miss, write-back: downgrade any exclusive holder to shared and
+    /// add p as a sharer.
+    void downgrade_and_share(ProcId p) {
+        if (exclusive_ != kNone) {
+            sharers_.insert(exclusive_);
+            exclusive_ = kNone;
+        }
+        sharers_.insert(p);
+    }
+
+    /// Write, write-through: "invalidates all OTHER cached copies of v and
+    /// writes v to main memory" -- the writer's own copy, if it has one,
+    /// stays valid (refreshed), but the write does NOT create a copy
+    /// (no write-allocate). This matters for the knowledge formalism: a
+    /// process may only come to hold a readable copy of a variable it knows
+    /// nothing about by paying a read RMR, which is what makes Lemma 1
+    /// ("every expanding step incurs an RMR") sound.
+    void invalidate_others(ProcId p) {
+        const bool writer_had_copy = holds(p);
+        sharers_.clear();
+        exclusive_ = kNone;
+        if (writer_had_copy) {
+            sharers_.insert(p);
+        }
+    }
+
+    /// Write miss, write-back: invalidate everything, p becomes exclusive.
+    void invalidate_others_make_exclusive(ProcId p) {
+        sharers_.clear();
+        exclusive_ = p;
+    }
+
+    void clear() {
+        sharers_.clear();
+        exclusive_ = kNone;
+    }
+
+   private:
+    static constexpr ProcId kNone = static_cast<ProcId>(-1);
+
+    std::unordered_set<ProcId> sharers_;
+    ProcId exclusive_ = kNone;
+};
+
+}  // namespace rwr

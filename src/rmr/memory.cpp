@@ -1,0 +1,108 @@
+#include "rmr/memory.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+namespace rwr {
+
+VarId Memory::allocate(std::string name, Word initial, ProcId owner) {
+    const auto idx = static_cast<std::uint32_t>(values_.size());
+    values_.push_back(initial);
+    dirs_.emplace_back();
+    names_.push_back(std::move(name));
+    owners_.push_back(owner);
+    return VarId{idx};
+}
+
+bool Memory::coherent_read(ProcId p, VarId v) {
+    CacheDirectory& dir = dirs_[v.index];
+    switch (protocol_) {
+        case Protocol::WriteThrough:
+            if (dir.holds(p)) {
+                return false;  // Cache hit: no RMR.
+            }
+            dir.add_shared(p);
+            return true;
+        case Protocol::WriteBack:
+            if (dir.holds(p)) {
+                return false;
+            }
+            dir.downgrade_and_share(p);
+            return true;
+        case Protocol::Dsm:
+            return owners_[v.index] != p;  // Remote iff not the home.
+    }
+    return true;
+}
+
+bool Memory::coherent_write(ProcId p, VarId v) {
+    CacheDirectory& dir = dirs_[v.index];
+    switch (protocol_) {
+        case Protocol::WriteThrough:
+            // Every write goes to main memory and invalidates other copies:
+            // always an RMR.
+            dir.invalidate_others(p);
+            return true;
+        case Protocol::WriteBack:
+            if (dir.holds_exclusive(p)) {
+                return false;  // Write hit on an exclusive copy: no RMR.
+            }
+            dir.invalidate_others_make_exclusive(p);
+            return true;
+        case Protocol::Dsm:
+            return owners_[v.index] != p;
+    }
+    return true;  // Unreachable.
+}
+
+OpResult Memory::apply(ProcId p, const Op& op) {
+    if (!op.touches_memory()) {
+        throw std::logic_error("Memory::apply called with a Local op");
+    }
+    if (op.var.index >= values_.size()) {
+        throw std::out_of_range("Memory::apply: invalid VarId");
+    }
+    ++total_steps_;
+
+    Word& stored = values_[op.var.index];
+    OpResult res;
+    res.value = stored;
+
+    switch (op.code) {
+        case OpCode::Read:
+            res.rmr = coherent_read(p, op.var);
+            res.nontrivial = false;
+            break;
+        case OpCode::Write:
+            res.rmr = coherent_write(p, op.var);
+            res.nontrivial = (stored != op.arg0);
+            stored = op.arg0;
+            break;
+        case OpCode::Cas:
+            // A CAS step is both a reading and a writing step (paper, Sec. 2).
+            // Cache-wise it behaves as a write access: it needs the line in a
+            // writable state whether or not the comparison succeeds.
+            res.rmr = coherent_write(p, op.var);
+            if (stored == op.arg0) {
+                res.nontrivial = (stored != op.arg1);
+                stored = op.arg1;
+            } else {
+                res.nontrivial = false;  // Failed CAS is a trivial step.
+            }
+            break;
+        case OpCode::FetchAdd:
+            res.rmr = coherent_write(p, op.var);
+            res.nontrivial = (op.arg0 != 0);
+            stored = stored + op.arg0;
+            break;
+        case OpCode::Local:
+            break;  // Handled above.
+    }
+
+    if (res.rmr) {
+        ++total_rmrs_;
+    }
+    return res;
+}
+
+}  // namespace rwr

@@ -1,0 +1,81 @@
+// Simulated shared memory with RMR accounting.
+//
+// Owns the value of every shared variable and a CacheDirectory per variable.
+// `apply` executes one step by one process, updates the coherence state per
+// the configured protocol, and reports whether the step incurred an RMR and
+// whether it was non-trivial (changed the variable's value) -- the two
+// facts the paper's lower-bound machinery is built on.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "rmr/cache.hpp"
+#include "rmr/op.hpp"
+#include "rmr/types.hpp"
+
+namespace rwr {
+
+class Memory {
+   public:
+    explicit Memory(Protocol protocol) : protocol_(protocol) {}
+
+    /// A variable with no DSM owner: every access is remote under Dsm.
+    static constexpr ProcId kNoOwner = static_cast<ProcId>(-1);
+
+    /// Allocates a fresh shared variable with the given initial value.
+    /// `name` is kept for traces and debugging only. `owner` is the DSM
+    /// home segment (ignored by the CC protocols).
+    VarId allocate(std::string name, Word initial = 0,
+                   ProcId owner = kNoOwner);
+
+    /// Re-homes a variable for the DSM model.
+    void set_owner(VarId v, ProcId owner) { owners_.at(v.index) = owner; }
+    [[nodiscard]] ProcId owner(VarId v) const { return owners_.at(v.index); }
+
+    /// Executes one step. Local ops are rejected here (they never reach the
+    /// memory); the caller handles them.
+    OpResult apply(ProcId p, const Op& op);
+
+    /// Peek at a variable without simulating a step (for checkers/tests).
+    [[nodiscard]] Word peek(VarId v) const { return values_.at(v.index); }
+
+    /// Directly set a variable without simulating a step (test setup only).
+    void poke(VarId v, Word value) { values_.at(v.index) = value; }
+
+    [[nodiscard]] Protocol protocol() const { return protocol_; }
+    [[nodiscard]] std::size_t num_variables() const { return values_.size(); }
+    [[nodiscard]] const std::string& name(VarId v) const {
+        return names_.at(v.index);
+    }
+
+    [[nodiscard]] bool cached(ProcId p, VarId v) const {
+        return dirs_.at(v.index).holds(p);
+    }
+    [[nodiscard]] bool cached_exclusive(ProcId p, VarId v) const {
+        return dirs_.at(v.index).holds_exclusive(p);
+    }
+
+    /// Total RMRs incurred by all processes since construction.
+    [[nodiscard]] std::uint64_t total_rmrs() const { return total_rmrs_; }
+    /// Total shared-memory steps executed.
+    [[nodiscard]] std::uint64_t total_steps() const { return total_steps_; }
+
+   private:
+    /// Updates coherence state for a read by p; returns true if RMR.
+    bool coherent_read(ProcId p, VarId v);
+    /// Updates coherence state for a write by p; returns true if RMR.
+    bool coherent_write(ProcId p, VarId v);
+
+    Protocol protocol_;
+    std::vector<Word> values_;
+    std::vector<CacheDirectory> dirs_;
+    std::vector<std::string> names_;
+    std::vector<ProcId> owners_;
+    std::uint64_t total_rmrs_ = 0;
+    std::uint64_t total_steps_ = 0;
+};
+
+}  // namespace rwr

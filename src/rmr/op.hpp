@@ -1,0 +1,81 @@
+// A single shared-memory step, as in the paper's model (Section 2):
+// "In each step s, a process applies a read, write, or compare-and-swap (CAS)
+//  operation to a shared-memory variable v, and returns some response res."
+//
+// We additionally model:
+//   * FetchAdd -- fetch-and-add, used only by baseline locks that the paper's
+//     Discussion section compares against (Bhatt-Jayanti). It is NOT part of
+//     the {read, write, CAS} set the lower bound covers; benches use it to
+//     demonstrate that the bound is primitive-specific.
+//   * Local    -- a step that touches no shared variable. Used to model time
+//     spent inside the critical section (so schedulers can interleave other
+//     processes while one sits in the CS) and pauses in the remainder
+//     section. Local steps never incur RMRs and never affect knowledge.
+#pragma once
+
+#include "rmr/types.hpp"
+
+namespace rwr {
+
+enum class OpCode : std::uint8_t {
+    Read,
+    Write,
+    Cas,
+    FetchAdd,
+    Local,
+};
+
+[[nodiscard]] inline const char* to_string(OpCode c) {
+    switch (c) {
+        case OpCode::Read: return "read";
+        case OpCode::Write: return "write";
+        case OpCode::Cas: return "cas";
+        case OpCode::FetchAdd: return "faa";
+        case OpCode::Local: return "local";
+    }
+    return "?";
+}
+
+struct Op {
+    OpCode code = OpCode::Local;
+    VarId var;       ///< Unused for Local.
+    Word arg0 = 0;   ///< Write: value. Cas: expected. FetchAdd: delta.
+    Word arg1 = 0;   ///< Cas: new value.
+
+    [[nodiscard]] static Op read(VarId v) { return {OpCode::Read, v, 0, 0}; }
+    [[nodiscard]] static Op write(VarId v, Word value) {
+        return {OpCode::Write, v, value, 0};
+    }
+    [[nodiscard]] static Op cas(VarId v, Word expected, Word desired) {
+        return {OpCode::Cas, v, expected, desired};
+    }
+    [[nodiscard]] static Op fetch_add(VarId v, Word delta) {
+        return {OpCode::FetchAdd, v, delta, 0};
+    }
+    [[nodiscard]] static Op local() { return {OpCode::Local, VarId{}, 0, 0}; }
+
+    /// A reading step per the paper: "If s applies a read or CAS operation to
+    /// v, we say that s is a reading step." FetchAdd also reads.
+    [[nodiscard]] bool is_reading() const {
+        return code == OpCode::Read || code == OpCode::Cas ||
+               code == OpCode::FetchAdd;
+    }
+
+    /// A step that may write (whether it actually changes the value -- i.e.
+    /// is "non-trivial" -- depends on the current memory contents).
+    [[nodiscard]] bool is_writing() const {
+        return code == OpCode::Write || code == OpCode::Cas ||
+               code == OpCode::FetchAdd;
+    }
+
+    [[nodiscard]] bool touches_memory() const { return code != OpCode::Local; }
+};
+
+/// Outcome of executing one Op against the memory.
+struct OpResult {
+    Word value = 0;        ///< Read/Cas/FetchAdd: value of v before the step.
+    bool rmr = false;      ///< Did the step incur a remote memory reference?
+    bool nontrivial = false;  ///< Did the step change the variable's value?
+};
+
+}  // namespace rwr

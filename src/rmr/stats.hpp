@@ -1,0 +1,62 @@
+// Per-process, per-section step/RMR accounting.
+//
+// The paper's claims are about the RMR complexity of specific sections
+// (reader exit, writer entry, whole passages), so the simulator attributes
+// every step to the section the process was in when it took it.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "rmr/types.hpp"
+
+namespace rwr {
+
+struct SectionStats {
+    std::array<std::uint64_t, kNumSections> steps{};
+    std::array<std::uint64_t, kNumSections> rmrs{};
+
+    void record(Section s, bool rmr) {
+        auto i = static_cast<std::size_t>(s);
+        ++steps[i];
+        if (rmr) {
+            ++rmrs[i];
+        }
+    }
+
+    [[nodiscard]] std::uint64_t steps_in(Section s) const {
+        return steps[static_cast<std::size_t>(s)];
+    }
+    [[nodiscard]] std::uint64_t rmrs_in(Section s) const {
+        return rmrs[static_cast<std::size_t>(s)];
+    }
+    [[nodiscard]] std::uint64_t total_steps() const {
+        std::uint64_t t = 0;
+        for (auto v : steps) t += v;
+        return t;
+    }
+    [[nodiscard]] std::uint64_t total_rmrs() const {
+        std::uint64_t t = 0;
+        for (auto v : rmrs) t += v;
+        return t;
+    }
+    /// RMRs over a whole passage = entry + critical + exit.
+    [[nodiscard]] std::uint64_t passage_rmrs() const {
+        return rmrs_in(Section::Entry) + rmrs_in(Section::Critical) +
+               rmrs_in(Section::Exit);
+    }
+
+    SectionStats& operator-=(const SectionStats& o) {
+        for (std::size_t i = 0; i < kNumSections; ++i) {
+            steps[i] -= o.steps[i];
+            rmrs[i] -= o.rmrs[i];
+        }
+        return *this;
+    }
+    friend SectionStats operator-(SectionStats a, const SectionStats& b) {
+        a -= b;
+        return a;
+    }
+};
+
+}  // namespace rwr

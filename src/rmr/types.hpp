@@ -1,0 +1,85 @@
+// Fundamental types shared across the simulator.
+//
+// The simulated machine is the standard asynchronous shared-memory model of
+// the paper (Hendler, PODC'16, Section 2): a set of processes communicating
+// through shared variables via read / write / CAS steps (plus fetch-and-add,
+// which is outside the paper's model but needed for the Bhatt-Jayanti-style
+// baseline the Discussion section compares against).
+#pragma once
+
+#include <cstdint>
+#include <limits>
+#include <string>
+
+namespace rwr {
+
+/// Value stored in one shared variable. All algorithm state is packed into
+/// 64-bit words (sequence numbers + opcodes, counter value + version, ...).
+using Word = std::uint64_t;
+
+/// Process identifier, dense in [0, num_processes).
+using ProcId = std::uint32_t;
+
+/// Shared-variable identifier, dense in [0, num_variables).
+/// A strong typedef so a VarId cannot be confused with a Word or ProcId.
+struct VarId {
+    std::uint32_t index = kInvalidIndex;
+
+    static constexpr std::uint32_t kInvalidIndex =
+        std::numeric_limits<std::uint32_t>::max();
+
+    constexpr VarId() = default;
+    constexpr explicit VarId(std::uint32_t i) : index(i) {}
+
+    [[nodiscard]] constexpr bool valid() const { return index != kInvalidIndex; }
+
+    friend constexpr bool operator==(VarId a, VarId b) { return a.index == b.index; }
+    friend constexpr bool operator!=(VarId a, VarId b) { return a.index != b.index; }
+};
+
+/// Memory-model variant. WriteThrough and WriteBack are the two
+/// cache-coherent (CC) protocols the paper's results cover (definitions
+/// quoted in the paper's Section 2 from Golab et al.). Dsm is the
+/// distributed-shared-memory model the Discussion section contrasts with:
+/// each variable resides in one process's memory segment; the owner
+/// accesses it locally (never an RMR), everyone else always pays an RMR --
+/// there are no caches. The Danek-Hadzilacos Ω(n) reader-writer lower
+/// bound applies to DSM but not to CC; experiment E11 exhibits the
+/// separation on A_f.
+enum class Protocol : std::uint8_t {
+    WriteThrough,
+    WriteBack,
+    Dsm,
+};
+
+[[nodiscard]] inline std::string to_string(Protocol p) {
+    switch (p) {
+        case Protocol::WriteThrough: return "write-through";
+        case Protocol::WriteBack: return "write-back";
+        case Protocol::Dsm: return "dsm";
+    }
+    return "?";
+}
+
+/// Sections of a lock passage; used to attribute RMRs. A process outside any
+/// passage is in Remainder (paper Section 2.1).
+enum class Section : std::uint8_t {
+    Remainder = 0,
+    Entry = 1,
+    Critical = 2,
+    Exit = 3,
+};
+
+inline constexpr int kNumSections = 4;
+
+[[nodiscard]] inline std::string to_string(Section s) {
+    switch (s) {
+        case Section::Remainder: return "remainder";
+        case Section::Entry: return "entry";
+        case Section::Critical: return "critical";
+        case Section::Exit: return "exit";
+    }
+    return "?";
+}
+
+}  // namespace rwr

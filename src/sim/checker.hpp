@@ -1,0 +1,82 @@
+// Invariant checking over executions.
+//
+// MutualExclusionChecker enforces the paper's Mutual Exclusion property
+// (Section 2.1): "If a writer is in the CS at any given time, then no other
+// process is in the CS at that time." It also records occupancy statistics
+// used by tests to confirm that readers really do share the CS (i.e. the
+// lock is not degenerating into a mutex).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+#include "sim/system.hpp"
+
+namespace rwr::sim {
+
+class InvariantViolation : public std::runtime_error {
+   public:
+    using std::runtime_error::runtime_error;
+};
+
+class MutualExclusionChecker final : public StepObserver {
+   public:
+    explicit MutualExclusionChecker(bool throw_on_violation = true)
+        : throw_on_violation_(throw_on_violation) {}
+
+    void on_step(const System& sys, const Process& p, const Op& op,
+                 const OpResult& res) override {
+        (void)op;
+        (void)res;
+        (void)p;
+        std::uint32_t readers_in_cs = 0;
+        std::uint32_t writers_in_cs = 0;
+        for (ProcId id = 0; id < sys.num_processes(); ++id) {
+            const Process& q = sys.process(id);
+            if (!q.in_cs()) {
+                continue;
+            }
+            if (q.is_reader()) {
+                ++readers_in_cs;
+            } else {
+                ++writers_in_cs;
+            }
+        }
+        max_concurrent_readers_ =
+            std::max(max_concurrent_readers_, readers_in_cs);
+        const bool violation =
+            writers_in_cs > 1 || (writers_in_cs == 1 && readers_in_cs > 0);
+        if (violation) {
+            ++violations_;
+            if (first_violation_.empty()) {
+                std::ostringstream os;
+                os << "mutual exclusion violated: " << writers_in_cs
+                   << " writer(s) and " << readers_in_cs
+                   << " reader(s) in the CS simultaneously";
+                first_violation_ = os.str();
+            }
+            if (throw_on_violation_) {
+                throw InvariantViolation(first_violation_);
+            }
+        }
+    }
+
+    [[nodiscard]] std::uint64_t violations() const { return violations_; }
+    [[nodiscard]] std::uint32_t max_concurrent_readers() const {
+        return max_concurrent_readers_;
+    }
+    [[nodiscard]] const std::string& first_violation() const {
+        return first_violation_;
+    }
+
+   private:
+    bool throw_on_violation_;
+    std::uint64_t violations_ = 0;
+    std::uint32_t max_concurrent_readers_ = 0;
+    std::string first_violation_;
+};
+
+}  // namespace rwr::sim

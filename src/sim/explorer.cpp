@@ -1,0 +1,127 @@
+#include "sim/explorer.hpp"
+
+namespace rwr::sim {
+
+namespace {
+
+/// Replays `choices` (indices into the runnable set) on a fresh scenario,
+/// then finishes round-robin. Returns the number of distinct branching
+/// alternatives available at the step right after the prefix (0 if the run
+/// ended within the prefix), so the DFS knows how far to fan out.
+struct ReplayOutcome {
+    std::size_t branch_width = 0;  ///< Runnable count right after the prefix.
+    bool violated = false;
+    bool finished = false;
+    std::string violation;
+};
+
+ReplayOutcome replay(const ScenarioFactory& factory,
+                     const std::vector<std::size_t>& choices,
+                     std::uint64_t finish_budget) {
+    ReplayOutcome out;
+    Scenario sc = factory();
+    System& sys = *sc.sys;
+    sys.start_all();
+    try {
+        for (const std::size_t choice : choices) {
+            const auto runnable = sys.runnable();
+            if (runnable.empty()) {
+                out.finished = sys.all_finished();
+                return out;
+            }
+            sys.step(runnable[choice % runnable.size()]);
+        }
+        out.branch_width = sys.runnable().size();
+        RoundRobinScheduler rr;
+        std::uint64_t steps = 0;
+        while (steps < finish_budget) {
+            const auto runnable = sys.runnable();
+            if (runnable.empty()) {
+                break;
+            }
+            sys.step(rr.pick(sys, runnable));
+            ++steps;
+        }
+        sys.check_failures();
+        out.finished = sys.all_finished();
+    } catch (const InvariantViolation& e) {
+        out.violated = true;
+        out.violation = e.what();
+    }
+    return out;
+}
+
+void dfs(const ScenarioFactory& factory, std::vector<std::size_t>& prefix,
+         int remaining_depth, std::uint64_t finish_budget,
+         ExploreResult& result) {
+    const ReplayOutcome out = replay(factory, prefix, finish_budget);
+    ++result.schedules_explored;
+    if (out.violated) {
+        ++result.violations;
+        if (result.first_violation.empty()) {
+            result.first_violation = out.violation;
+        }
+        return;  // Do not descend below a violating prefix.
+    }
+    if (!out.finished) {
+        ++result.incomplete_runs;
+    }
+    constexpr std::size_t kMaxPrefix = 4096;  // Forced-move chain guard.
+    if (remaining_depth == 0 || out.branch_width <= 1) {
+        // Nothing to branch on: either depth exhausted or the next decision
+        // point has at most one enabled process (no real choice).
+        if (out.branch_width == 1 && remaining_depth > 0 &&
+            prefix.size() < kMaxPrefix) {
+            // Single choice: advance the prefix without burning depth so the
+            // enumeration doesn't waste its budget on forced moves.
+            prefix.push_back(0);
+            dfs(factory, prefix, remaining_depth, finish_budget, result);
+            prefix.pop_back();
+            // The recursive call already accounted for this subtree.
+            --result.schedules_explored;
+        }
+        return;
+    }
+    for (std::size_t c = 0; c < out.branch_width; ++c) {
+        prefix.push_back(c);
+        dfs(factory, prefix, remaining_depth - 1, finish_budget, result);
+        prefix.pop_back();
+    }
+}
+
+}  // namespace
+
+ExploreResult explore_dfs(const ScenarioFactory& factory, int branch_depth,
+                          std::uint64_t finish_budget) {
+    ExploreResult result;
+    std::vector<std::size_t> prefix;
+    dfs(factory, prefix, branch_depth, finish_budget, result);
+    return result;
+}
+
+ExploreResult explore_random(const ScenarioFactory& factory,
+                             std::uint64_t num_schedules, std::uint64_t seed,
+                             std::uint64_t budget) {
+    ExploreResult result;
+    for (std::uint64_t i = 0; i < num_schedules; ++i) {
+        Scenario sc = factory();
+        System& sys = *sc.sys;
+        RandomScheduler sched(seed + i);
+        try {
+            const RunResult run_result = run(sys, sched, budget);
+            sys.check_failures();
+            if (!run_result.all_finished) {
+                ++result.incomplete_runs;
+            }
+        } catch (const InvariantViolation& e) {
+            ++result.violations;
+            if (result.first_violation.empty()) {
+                result.first_violation = e.what();
+            }
+        }
+        ++result.schedules_explored;
+    }
+    return result;
+}
+
+}  // namespace rwr::sim

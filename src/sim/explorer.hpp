@@ -1,0 +1,57 @@
+// Systematic and randomized schedule exploration ("model checking lite").
+//
+// Coroutine frames cannot be snapshotted, so the explorer uses replay: each
+// explored schedule rebuilds the scenario from scratch (deterministically)
+// and replays a choice prefix, then branches. This is the CHESS-style
+// approach; exponential in the branching depth, so it is used on small
+// configurations (n <= 3, m <= 2) where the interesting races of the
+// algorithms already manifest.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/checker.hpp"
+#include "sim/rwlock.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/system.hpp"
+
+namespace rwr::sim {
+
+/// Everything needed to (re)run one configuration. The factory must build
+/// an identical scenario every call (determinism is what makes replay work).
+struct Scenario {
+    std::unique_ptr<System> sys;
+    std::unique_ptr<SimRWLock> lock;
+    std::unique_ptr<MutualExclusionChecker> checker;
+    /// Keeps auxiliary objects (per-process record vectors, ...) alive.
+    std::shared_ptr<void> extra;
+};
+
+using ScenarioFactory = std::function<Scenario()>;
+
+struct ExploreResult {
+    std::uint64_t schedules_explored = 0;
+    std::uint64_t violations = 0;
+    std::uint64_t incomplete_runs = 0;  ///< Hit the step budget (possible livelock).
+    std::string first_violation;
+
+    [[nodiscard]] bool ok() const { return violations == 0; }
+};
+
+/// Depth-first enumeration of all schedules whose first `branch_depth` steps
+/// are chosen freely; after the prefix the run is completed round-robin up
+/// to `finish_budget` steps. Mutual exclusion is checked on every step.
+ExploreResult explore_dfs(const ScenarioFactory& factory, int branch_depth,
+                          std::uint64_t finish_budget);
+
+/// `num_schedules` runs under independent seeded random schedulers, each up
+/// to `budget` steps.
+ExploreResult explore_random(const ScenarioFactory& factory,
+                             std::uint64_t num_schedules, std::uint64_t seed,
+                             std::uint64_t budget);
+
+}  // namespace rwr::sim

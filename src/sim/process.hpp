@@ -1,0 +1,155 @@
+// A simulated process: coroutine driver + pending-operation slot + section
+// state + per-section RMR statistics.
+//
+// The scheduler contract:
+//   1. `start()` resumes the driver until it either registers its first
+//      pending Op or finishes.
+//   2. While `runnable()`, the scheduler may inspect `pending()` (this is
+//      what makes the paper's adversary implementable: it pauses a reader
+//      exactly when its *next* step would be an expanding step) and then ask
+//      the System to execute it, which resumes the coroutine up to the next
+//      suspension.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "rmr/op.hpp"
+#include "rmr/stats.hpp"
+#include "rmr/types.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::sim {
+
+enum class Role : std::uint8_t { Reader, Writer };
+
+[[nodiscard]] inline const char* to_string(Role r) {
+    return r == Role::Reader ? "reader" : "writer";
+}
+
+class Process {
+   public:
+    Process(ProcId id, Role role, std::uint32_t role_index)
+        : id_(id), role_(role), role_index_(role_index) {}
+
+    Process(const Process&) = delete;
+    Process& operator=(const Process&) = delete;
+
+    [[nodiscard]] ProcId id() const { return id_; }
+    [[nodiscard]] Role role() const { return role_; }
+    /// Index among processes of the same role (reader 0..n-1 / writer 0..m-1).
+    [[nodiscard]] std::uint32_t role_index() const { return role_index_; }
+    [[nodiscard]] bool is_reader() const { return role_ == Role::Reader; }
+
+    // ---- Scheduler-facing API -------------------------------------------
+
+    void set_task(SimTask<void> task) { task_ = std::move(task); }
+
+    /// Resume until the first pending op (or completion). Idempotent.
+    void start() {
+        if (started_ || !task_.valid()) {
+            return;
+        }
+        started_ = true;
+        resume_point_ = task_.handle();
+        resume();
+    }
+
+    [[nodiscard]] bool started() const { return started_; }
+    [[nodiscard]] bool finished() const { return started_ && task_.done(); }
+    [[nodiscard]] bool failed() const { return task_.valid() && task_.failed(); }
+    void rethrow_if_failed() const { task_.rethrow_if_failed(); }
+
+    [[nodiscard]] bool runnable() const {
+        return started_ && !finished() && pending_.has_value();
+    }
+    [[nodiscard]] const Op& pending() const {
+        assert(pending_.has_value());
+        return *pending_;
+    }
+    [[nodiscard]] bool has_pending() const { return pending_.has_value(); }
+
+    /// Called by System: consume the pending op (System executes it against
+    /// the memory), deliver the result, and resume to the next suspension.
+    void complete_step(const OpResult& result) {
+        assert(pending_.has_value());
+        pending_.reset();
+        op_result_ = result;
+        stats_.record(section_, result.rmr);
+        resume();
+    }
+
+    // ---- Section / passage bookkeeping ----------------------------------
+
+    [[nodiscard]] Section section() const { return section_; }
+    void set_section(Section s) { section_ = s; }
+    [[nodiscard]] bool in_cs() const { return section_ == Section::Critical; }
+
+    [[nodiscard]] std::uint64_t completed_passages() const {
+        return completed_passages_;
+    }
+    void note_passage_complete() { ++completed_passages_; }
+
+    [[nodiscard]] const SectionStats& stats() const { return stats_; }
+
+    // ---- Awaitables used from algorithm coroutines ----------------------
+
+    struct OpAwaiter {
+        Process& p;
+        Op op;
+        bool await_ready() const noexcept { return false; }
+        void await_suspend(std::coroutine_handle<> h) {
+            p.pending_ = op;
+            p.resume_point_ = h;
+        }
+        Word await_resume() const noexcept { return p.op_result_.value; }
+    };
+
+    [[nodiscard]] OpAwaiter read(VarId v) { return {*this, Op::read(v)}; }
+    [[nodiscard]] OpAwaiter write(VarId v, Word value) {
+        return {*this, Op::write(v, value)};
+    }
+    /// Returns the value of the variable *before* the CAS (paper semantics:
+    /// "it returns the value of v prior to its application").
+    [[nodiscard]] OpAwaiter cas(VarId v, Word expected, Word desired) {
+        return {*this, Op::cas(v, expected, desired)};
+    }
+    [[nodiscard]] OpAwaiter fetch_add(VarId v, Word delta) {
+        return {*this, Op::fetch_add(v, delta)};
+    }
+    /// A step that touches no shared memory; a pure scheduling point
+    /// (models local computation, e.g. time spent inside the CS).
+    [[nodiscard]] OpAwaiter local_step() { return {*this, Op::local()}; }
+
+   private:
+    void resume() {
+        assert(resume_point_);
+        auto h = resume_point_;
+        resume_point_ = nullptr;
+        h.resume();
+        // After resume() the coroutine stack has either registered a new
+        // pending op (setting resume_point_ again), finished, or failed.
+        if (task_.failed()) {
+            pending_.reset();
+        }
+    }
+
+    ProcId id_;
+    Role role_;
+    std::uint32_t role_index_;
+
+    SimTask<void> task_;
+    bool started_ = false;
+    std::coroutine_handle<> resume_point_;
+    std::optional<Op> pending_;
+    OpResult op_result_;
+
+    Section section_ = Section::Remainder;
+    std::uint64_t completed_passages_ = 0;
+    SectionStats stats_;
+};
+
+}  // namespace rwr::sim

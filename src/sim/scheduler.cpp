@@ -1,0 +1,107 @@
+#include "sim/scheduler.hpp"
+
+#include <algorithm>
+
+namespace rwr::sim {
+
+ProcId RoundRobinScheduler::pick(const System& sys,
+                                 const std::vector<ProcId>& runnable) {
+    // Runnable ids are sorted; pick the first id >= cursor, else wrap.
+    (void)sys;
+    auto it = std::lower_bound(runnable.begin(), runnable.end(), cursor_);
+    if (it == runnable.end()) {
+        it = runnable.begin();
+    }
+    const ProcId chosen = *it;
+    cursor_ = chosen + 1;
+    return chosen;
+}
+
+ProcId RandomScheduler::pick(const System& sys,
+                             const std::vector<ProcId>& runnable) {
+    (void)sys;
+    std::uniform_int_distribution<std::size_t> dist(0, runnable.size() - 1);
+    return runnable[dist(rng_)];
+}
+
+PctScheduler::PctScheduler(std::uint64_t seed, std::size_t num_processes,
+                           int depth, std::uint64_t expected_steps)
+    : rng_(seed), low_water_(static_cast<std::uint64_t>(depth)) {
+    // Initial priorities: a random permutation of [depth, depth + n).
+    priority_.resize(num_processes);
+    for (std::size_t i = 0; i < num_processes; ++i) {
+        priority_[i] = static_cast<std::uint64_t>(depth) + i + 1;
+    }
+    std::shuffle(priority_.begin(), priority_.end(), rng_);
+    // depth - 1 random priority change points over the expected run length.
+    std::uniform_int_distribution<std::uint64_t> dist(
+        0, expected_steps == 0 ? 0 : expected_steps - 1);
+    for (int i = 0; i + 1 < depth; ++i) {
+        change_points_.push_back(dist(rng_));
+    }
+    std::sort(change_points_.begin(), change_points_.end());
+}
+
+ProcId PctScheduler::pick(const System& sys,
+                          const std::vector<ProcId>& runnable) {
+    (void)sys;
+    ProcId best = runnable.front();
+    for (const ProcId p : runnable) {
+        if (priority_[p] > priority_[best]) {
+            best = p;
+        }
+    }
+    if (next_change_ < change_points_.size() &&
+        steps_ >= change_points_[next_change_]) {
+        // Drop the chosen process below every initial priority; successive
+        // change points hand out strictly decreasing priorities.
+        priority_[best] = low_water_ > 0 ? --low_water_ : 0;
+        ++next_change_;
+    }
+    ++steps_;
+    return best;
+}
+
+ProcId ReplayScheduler::pick(const System& sys,
+                             const std::vector<ProcId>& runnable) {
+    if (next_ < choices_.size()) {
+        const std::size_t idx = choices_[next_++] % runnable.size();
+        return runnable[idx];
+    }
+    return fallback_.pick(sys, runnable);
+}
+
+RunResult run(System& sys, Scheduler& sched, std::uint64_t max_steps) {
+    sys.start_all();
+    RunResult result;
+    while (result.steps < max_steps) {
+        const auto runnable = sys.runnable();
+        if (runnable.empty()) {
+            break;
+        }
+        const ProcId p = sched.pick(sys, runnable);
+        if (!sys.step(p)) {
+            break;  // Defensive; pick() must return a runnable process.
+        }
+        ++result.steps;
+    }
+    result.all_finished = sys.all_finished();
+    return result;
+}
+
+std::uint64_t run_solo(System& sys, ProcId p, std::uint64_t max_steps,
+                       const std::function<bool(const Process&)>& stop) {
+    sys.start_all();
+    std::uint64_t steps = 0;
+    Process& proc = sys.process(p);
+    while (steps < max_steps && proc.runnable()) {
+        if (stop && stop(proc)) {
+            break;
+        }
+        sys.step(p);
+        ++steps;
+    }
+    return steps;
+}
+
+}  // namespace rwr::sim

@@ -1,0 +1,105 @@
+// Schedulers: pluggable policies deciding which runnable process takes the
+// next step. The model is fully asynchronous (paper Section 2) -- any
+// interleaving of steps is legal -- so a scheduler is just a choice function
+// over the runnable set.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <random>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace rwr::sim {
+
+class Scheduler {
+   public:
+    virtual ~Scheduler() = default;
+    /// Picks the next process from the (non-empty) runnable set.
+    virtual ProcId pick(const System& sys,
+                        const std::vector<ProcId>& runnable) = 0;
+};
+
+/// Fair round-robin over process ids.
+class RoundRobinScheduler final : public Scheduler {
+   public:
+    ProcId pick(const System& sys, const std::vector<ProcId>& runnable) override;
+
+   private:
+    ProcId cursor_ = 0;
+};
+
+/// Uniformly random choice; fair with probability 1.
+class RandomScheduler final : public Scheduler {
+   public:
+    explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
+    ProcId pick(const System& sys, const std::vector<ProcId>& runnable) override;
+
+   private:
+    std::mt19937_64 rng_;
+};
+
+/// Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010):
+/// processes get random priorities; the scheduler always runs the highest-
+/// priority runnable process; at `depth - 1` random step indices the
+/// running process's priority is dropped below everyone's. PCT finds any
+/// bug of "depth" d with probability >= 1/(n * k^(d-1)) per run, which in
+/// practice beats uniform random scheduling at flushing out ordering bugs;
+/// the test suite uses it alongside RandomScheduler.
+///
+/// CAVEAT: PCT is deliberately unfair, and the lock algorithms here are
+/// blocking (spin-based): a deprioritized lock holder starves higher-
+/// priority spinners, so a pure PCT run of a lock workload may livelock.
+/// Use a bounded PCT *prefix* followed by a fair scheduler, as the tests
+/// do -- the adversarial interleavings happen early anyway.
+class PctScheduler final : public Scheduler {
+   public:
+    PctScheduler(std::uint64_t seed, std::size_t num_processes, int depth,
+                 std::uint64_t expected_steps);
+
+    ProcId pick(const System& sys, const std::vector<ProcId>& runnable) override;
+
+   private:
+    std::mt19937_64 rng_;
+    std::vector<std::uint64_t> priority_;      ///< Per process; higher runs.
+    std::vector<std::uint64_t> change_points_;  ///< Sorted step indices.
+    std::size_t next_change_ = 0;
+    std::uint64_t steps_ = 0;
+    std::uint64_t low_water_;  ///< Next below-everything priority to hand out.
+};
+
+/// Replays a fixed sequence of choice *indices* into the runnable set
+/// (sorted by pid, as System::runnable returns). Used by the explorer.
+/// Falls back to round-robin when the sequence is exhausted.
+class ReplayScheduler final : public Scheduler {
+   public:
+    explicit ReplayScheduler(std::vector<std::size_t> choices)
+        : choices_(std::move(choices)) {}
+
+    ProcId pick(const System& sys, const std::vector<ProcId>& runnable) override;
+
+    [[nodiscard]] bool exhausted() const { return next_ >= choices_.size(); }
+
+   private:
+    std::vector<std::size_t> choices_;
+    std::size_t next_ = 0;
+    RoundRobinScheduler fallback_;
+};
+
+struct RunResult {
+    std::uint64_t steps = 0;
+    bool all_finished = false;
+};
+
+/// Runs the system under `sched` until all processes finish or `max_steps`
+/// are executed. Starts unstarted processes first.
+RunResult run(System& sys, Scheduler& sched, std::uint64_t max_steps);
+
+/// Runs only process `p` (solo execution, as in the lower-bound fragments
+/// E1/E3) until it finishes, `stop` returns true, or `max_steps` elapse.
+/// Returns the number of steps taken.
+std::uint64_t run_solo(System& sys, ProcId p, std::uint64_t max_steps,
+                       const std::function<bool(const Process&)>& stop = {});
+
+}  // namespace rwr::sim

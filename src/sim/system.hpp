@@ -1,0 +1,128 @@
+// The simulated system: shared memory + processes + step execution.
+//
+// System::step(p) is the single place a shared-memory step happens; step
+// observers (invariant checkers, the knowledge tracker, tracers) hook in
+// there, seeing each executed step together with its RMR/non-triviality
+// outcome.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <stdexcept>
+#include <vector>
+
+#include "rmr/memory.hpp"
+#include "sim/process.hpp"
+
+namespace rwr::sim {
+
+class System;
+
+/// Observer of executed steps. `on_step` runs after the memory update, so
+/// `res` reflects the step's effect; observers needing pre-step state keep
+/// their own shadow state (e.g. the knowledge tracker).
+class StepObserver {
+   public:
+    virtual ~StepObserver() = default;
+    virtual void on_step(const System& sys, const Process& p, const Op& op,
+                         const OpResult& res) = 0;
+};
+
+class System {
+   public:
+    explicit System(Protocol protocol) : memory_(protocol) {}
+
+    [[nodiscard]] Memory& memory() { return memory_; }
+    [[nodiscard]] const Memory& memory() const { return memory_; }
+
+    Process& add_process(Role role) {
+        const auto id = static_cast<ProcId>(processes_.size());
+        const auto role_index =
+            role == Role::Reader ? num_readers_++ : num_writers_++;
+        processes_.push_back(std::make_unique<Process>(id, role, role_index));
+        return *processes_.back();
+    }
+
+    [[nodiscard]] std::size_t num_processes() const { return processes_.size(); }
+    [[nodiscard]] std::uint32_t num_readers() const { return num_readers_; }
+    [[nodiscard]] std::uint32_t num_writers() const { return num_writers_; }
+
+    [[nodiscard]] Process& process(ProcId id) { return *processes_.at(id); }
+    [[nodiscard]] const Process& process(ProcId id) const {
+        return *processes_.at(id);
+    }
+
+    void add_observer(StepObserver* obs) { observers_.push_back(obs); }
+
+    /// Resume every process to its first suspension point.
+    void start_all() {
+        for (auto& p : processes_) {
+            p->start();
+        }
+    }
+
+    /// Execute the pending step of process `id` and resume it to the next
+    /// suspension point. Returns false if the process was not runnable.
+    bool step(ProcId id) {
+        Process& p = *processes_.at(id);
+        if (!p.started()) {
+            p.start();
+        }
+        if (!p.runnable()) {
+            return false;
+        }
+        const Op op = p.pending();
+        OpResult res;
+        if (op.touches_memory()) {
+            res = memory_.apply(p.id(), op);
+        }
+        ++steps_executed_;
+        for (auto* obs : observers_) {
+            obs->on_step(*this, p, op, res);
+        }
+        p.complete_step(res);
+        return true;
+    }
+
+    /// Processes that can take a step right now. Call start_all() first so
+    /// every process has surfaced its first pending op.
+    [[nodiscard]] std::vector<ProcId> runnable() const {
+        std::vector<ProcId> out;
+        out.reserve(processes_.size());
+        for (const auto& p : processes_) {
+            if (p->runnable()) {
+                out.push_back(p->id());
+            }
+        }
+        return out;
+    }
+
+    [[nodiscard]] bool all_finished() const {
+        for (const auto& p : processes_) {
+            if (!p->finished()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /// Throws if any process's coroutine escaped with an exception.
+    void check_failures() const {
+        for (const auto& p : processes_) {
+            p->rethrow_if_failed();
+        }
+    }
+
+    [[nodiscard]] std::uint64_t steps_executed() const { return steps_executed_; }
+
+   private:
+    Memory memory_;
+    std::vector<std::unique_ptr<Process>> processes_;
+    std::vector<StepObserver*> observers_;
+    std::uint32_t num_readers_ = 0;
+    std::uint32_t num_writers_ = 0;
+    std::uint64_t steps_executed_ = 0;
+};
+
+}  // namespace rwr::sim

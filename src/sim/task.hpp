@@ -1,0 +1,184 @@
+// Coroutine task type for simulated processes.
+//
+// Algorithm code (lock entry/exit sections, counter operations, ...) is
+// written as ordinary-looking C++ coroutines. Every shared-memory access is
+// a `co_await` on an operation awaiter provided by Process; the coroutine
+// suspends, the scheduler decides when (and in the adversary's case, in what
+// order relative to other processes) the step executes, and the coroutine is
+// resumed with the step's response.
+//
+// SimTask<T> supports nesting (`co_await subroutine(...)`) with symmetric
+// transfer, so e.g. a lock's entry section can `co_await counter.add(p, 1)`
+// and the counter's individual shared-memory steps still become scheduler
+// decision points.
+//
+// PORTABILITY NOTE: never place `co_await` inside a short-circuit (&&, ||)
+// or conditional (?:) subexpression -- GCC 12 miscompiles such awaits (the
+// coroutine silently stalls). Write sequential statements instead; this is
+// also easier to read.
+#pragma once
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace rwr::sim {
+
+template <typename T>
+class SimTask;
+
+namespace detail {
+
+/// Final awaiter: on completion, symmetric-transfer to the awaiting
+/// coroutine (if any), otherwise suspend (top-level task; the Process
+/// notices completion via handle.done()).
+template <typename Promise>
+struct FinalAwaiter {
+    bool await_ready() noexcept { return false; }
+    std::coroutine_handle<> await_suspend(
+        std::coroutine_handle<Promise> h) noexcept {
+        auto cont = h.promise().continuation;
+        return cont ? cont : std::noop_coroutine();
+    }
+    void await_resume() noexcept {}
+};
+
+struct PromiseBase {
+    std::coroutine_handle<> continuation;
+    std::exception_ptr exception;
+
+    std::suspend_always initial_suspend() noexcept { return {}; }
+    void unhandled_exception() noexcept { exception = std::current_exception(); }
+};
+
+}  // namespace detail
+
+template <typename T = void>
+class [[nodiscard]] SimTask {
+   public:
+    struct promise_type : detail::PromiseBase {
+        T value{};
+
+        SimTask get_return_object() {
+            return SimTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+        detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+        void return_value(T v) { value = std::move(v); }
+    };
+
+    using handle_type = std::coroutine_handle<promise_type>;
+
+    SimTask() = default;
+    explicit SimTask(handle_type h) : handle_(h) {}
+    SimTask(SimTask&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+    SimTask& operator=(SimTask&& o) noexcept {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+    SimTask(const SimTask&) = delete;
+    SimTask& operator=(const SimTask&) = delete;
+    ~SimTask() { destroy(); }
+
+    [[nodiscard]] handle_type handle() const { return handle_; }
+    [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+    [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+
+    /// Awaiter used when a coroutine does `co_await subtask`.
+    struct Awaiter {
+        handle_type inner;
+        bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<> await_suspend(std::coroutine_handle<> outer) {
+            inner.promise().continuation = outer;
+            return inner;  // Start the subtask (symmetric transfer).
+        }
+        T await_resume() {
+            if (inner.promise().exception) {
+                std::rethrow_exception(inner.promise().exception);
+            }
+            return std::move(inner.promise().value);
+        }
+    };
+    Awaiter operator co_await() const& { return Awaiter{handle_}; }
+
+   private:
+    void destroy() {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+    handle_type handle_;
+};
+
+template <>
+class [[nodiscard]] SimTask<void> {
+   public:
+    struct promise_type : detail::PromiseBase {
+        SimTask get_return_object() {
+            return SimTask{
+                std::coroutine_handle<promise_type>::from_promise(*this)};
+        }
+        detail::FinalAwaiter<promise_type> final_suspend() noexcept { return {}; }
+        void return_void() {}
+    };
+
+    using handle_type = std::coroutine_handle<promise_type>;
+
+    SimTask() = default;
+    explicit SimTask(handle_type h) : handle_(h) {}
+    SimTask(SimTask&& o) noexcept : handle_(std::exchange(o.handle_, {})) {}
+    SimTask& operator=(SimTask&& o) noexcept {
+        if (this != &o) {
+            destroy();
+            handle_ = std::exchange(o.handle_, {});
+        }
+        return *this;
+    }
+    SimTask(const SimTask&) = delete;
+    SimTask& operator=(const SimTask&) = delete;
+    ~SimTask() { destroy(); }
+
+    [[nodiscard]] handle_type handle() const { return handle_; }
+    [[nodiscard]] bool valid() const { return static_cast<bool>(handle_); }
+    [[nodiscard]] bool done() const { return handle_ && handle_.done(); }
+
+    /// Rethrows an exception that escaped the task body, if any.
+    void rethrow_if_failed() const {
+        if (handle_ && handle_.promise().exception) {
+            std::rethrow_exception(handle_.promise().exception);
+        }
+    }
+    [[nodiscard]] bool failed() const {
+        return handle_ && handle_.promise().exception != nullptr;
+    }
+
+    struct Awaiter {
+        handle_type inner;
+        bool await_ready() const noexcept { return false; }
+        std::coroutine_handle<> await_suspend(std::coroutine_handle<> outer) {
+            inner.promise().continuation = outer;
+            return inner;
+        }
+        void await_resume() {
+            if (inner.promise().exception) {
+                std::rethrow_exception(inner.promise().exception);
+            }
+        }
+    };
+    Awaiter operator co_await() const& { return Awaiter{handle_}; }
+
+   private:
+    void destroy() {
+        if (handle_) {
+            handle_.destroy();
+            handle_ = {};
+        }
+    }
+    handle_type handle_;
+};
+
+}  // namespace rwr::sim

@@ -1,0 +1,59 @@
+// Execution trace recording.
+//
+// A TraceRecorder captures every executed step together with its response
+// and effect flags, plus a snapshot of all variable values at attach time.
+// Traces feed the erasure machinery (knowledge/erasure.hpp -- the paper's
+// Lemma 3) which removes a process's "knowledge cone" from an execution and
+// replays the remainder to verify it is still a legal execution.
+#pragma once
+
+#include <vector>
+
+#include "rmr/op.hpp"
+#include "sim/system.hpp"
+
+namespace rwr::sim {
+
+struct TraceStep {
+    ProcId pid = 0;
+    Op op;
+    OpResult res;
+};
+
+class TraceRecorder final : public StepObserver {
+   public:
+    /// Snapshots the current variable values; steps observed afterwards are
+    /// recorded relative to this snapshot.
+    explicit TraceRecorder(const Memory& mem) { snapshot(mem); }
+
+    void snapshot(const Memory& mem) {
+        initial_values_.clear();
+        initial_values_.reserve(mem.num_variables());
+        for (std::uint32_t i = 0;
+             i < static_cast<std::uint32_t>(mem.num_variables()); ++i) {
+            initial_values_.push_back(mem.peek(VarId{i}));
+        }
+        steps_.clear();
+    }
+
+    void on_step(const System& sys, const Process& p, const Op& op,
+                 const OpResult& res) override {
+        (void)sys;
+        if (op.touches_memory()) {
+            steps_.push_back(TraceStep{p.id(), op, res});
+        }
+    }
+
+    [[nodiscard]] const std::vector<TraceStep>& steps() const {
+        return steps_;
+    }
+    [[nodiscard]] const std::vector<Word>& initial_values() const {
+        return initial_values_;
+    }
+
+   private:
+    std::vector<Word> initial_values_;
+    std::vector<TraceStep> steps_;
+};
+
+}  // namespace rwr::sim

@@ -1,0 +1,316 @@
+// Tests for the awareness/familiarity formalism (paper Definitions 1-3,
+// Observations 1-2, Fact 1, Lemma 1).
+#include <gtest/gtest.h>
+
+#include "knowledge/awareness.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/system.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::knowledge {
+namespace {
+
+using sim::Process;
+using sim::Role;
+using sim::SimTask;
+using sim::System;
+
+struct Fixture {
+    System sys{Protocol::WriteThrough};
+    explicit Fixture(Protocol p = Protocol::WriteThrough) : sys(p) {}
+};
+
+// --- PSet basics -------------------------------------------------------------
+
+TEST(PSet, SetTestCount) {
+    PSet s(130);
+    EXPECT_TRUE(s.empty());
+    s.set(0);
+    s.set(64);
+    s.set(129);
+    EXPECT_EQ(s.count(), 3u);
+    EXPECT_TRUE(s.test(64));
+    EXPECT_FALSE(s.test(63));
+}
+
+TEST(PSet, UnionAndSubset) {
+    PSet a(100);
+    PSet b(100);
+    a.set(1);
+    b.set(1);
+    b.set(2);
+    EXPECT_TRUE(a.subset_of(b));
+    EXPECT_FALSE(b.subset_of(a));
+    a |= b;
+    EXPECT_TRUE(b.subset_of(a));
+    EXPECT_EQ(a.count(), 2u);
+}
+
+// --- Definitions 1 & 2 worked examples ---------------------------------------
+
+SimTask<void> single_write(Process& p, VarId v, Word val) {
+    co_await p.write(v, val);
+}
+SimTask<void> single_read(Process& p, VarId v) { co_await p.read(v); }
+SimTask<void> single_cas(Process& p, VarId v, Word exp, Word des) {
+    co_await p.cas(v, exp, des);
+}
+
+TEST(Awareness, InitiallySelfOnly) {
+    AwarenessTracker t(3, 2);
+    for (ProcId p = 0; p < 3; ++p) {
+        EXPECT_EQ(t.awareness(p).count(), 1u);
+        EXPECT_TRUE(t.awareness(p).test(p));
+    }
+    EXPECT_TRUE(t.familiarity(VarId{0}).empty());
+}
+
+TEST(Awareness, WriteSetsFamiliarityToWriterAwareness) {
+    // p0 writes v -> F(v) = AW(p0) = {p0}. p1 reads v -> AW(p1) = {p0, p1}.
+    System sys(Protocol::WriteThrough);
+    const VarId v = sys.memory().allocate("v");
+    Process& p0 = sys.add_process(Role::Reader);
+    Process& p1 = sys.add_process(Role::Reader);
+    p0.set_task(single_write(p0, v, 1));
+    p1.set_task(single_read(p1, v));
+    AwarenessTracker t(2, 1);
+    sys.add_observer(&t);
+    sys.start_all();
+
+    sys.step(p0.id());
+    EXPECT_EQ(t.familiarity(v).count(), 1u);
+    EXPECT_TRUE(t.familiarity(v).test(p0.id()));
+
+    // p1's pending read is expanding: F(v)={p0} ⊄ AW(p1)={p1}.
+    EXPECT_TRUE(t.would_expand(p1.id(), p1.pending()));
+    sys.step(p1.id());
+    EXPECT_TRUE(t.awareness(p1.id()).test(p0.id()));
+    EXPECT_TRUE(t.awareness(p1.id()).test(p1.id()));
+    EXPECT_EQ(t.expanding_steps(p1.id()), 1u);
+    EXPECT_EQ(t.lemma1_violations(), 0u);
+}
+
+TEST(Awareness, TrivialWriteDoesNotChangeFamiliarity) {
+    // Writing the current value is a trivial step (Definition 1 considers
+    // only non-trivial steps).
+    System sys(Protocol::WriteThrough);
+    const VarId v = sys.memory().allocate("v", 7);
+    Process& p0 = sys.add_process(Role::Reader);
+    p0.set_task(single_write(p0, v, 7));
+    AwarenessTracker t(1, 1);
+    sys.add_observer(&t);
+    sys.start_all();
+    sys.step(p0.id());
+    EXPECT_TRUE(t.familiarity(v).empty());
+}
+
+TEST(Awareness, SuccessfulCasExtendsFamiliarity) {
+    // Definition 1 case 2: CAS extends rather than overwrites familiarity.
+    // p0 writes v (F={p0}); p1 CAS-succeeds on v; then F(v) = {p0, p1}.
+    System sys(Protocol::WriteThrough);
+    const VarId v = sys.memory().allocate("v", 0);
+    Process& p0 = sys.add_process(Role::Reader);
+    Process& p1 = sys.add_process(Role::Reader);
+    p0.set_task(single_write(p0, v, 5));
+    p1.set_task(single_cas(p1, v, 5, 6));
+    AwarenessTracker t(2, 1);
+    sys.add_observer(&t);
+    sys.start_all();
+    sys.step(p0.id());
+    sys.step(p1.id());
+    EXPECT_TRUE(t.familiarity(v).test(p0.id()));
+    EXPECT_TRUE(t.familiarity(v).test(p1.id()));
+    // And AW(p1) grew (CAS is a reading step): Observation 2 holds --
+    // F(v) == AW(p1) after p1's non-trivial CAS.
+    EXPECT_TRUE(t.familiarity(v) == t.awareness(p1.id()));
+}
+
+TEST(Awareness, FailedCasStillReads) {
+    // A failed CAS is trivial (familiarity unchanged) but is a reading step:
+    // the executing process still becomes aware of F(v).
+    System sys(Protocol::WriteThrough);
+    const VarId v = sys.memory().allocate("v", 0);
+    Process& p0 = sys.add_process(Role::Reader);
+    Process& p1 = sys.add_process(Role::Reader);
+    p0.set_task(single_write(p0, v, 5));
+    p1.set_task(single_cas(p1, v, 99, 1));  // Will fail: v == 5.
+    AwarenessTracker t(2, 1);
+    sys.add_observer(&t);
+    sys.start_all();
+    sys.step(p0.id());
+    sys.step(p1.id());
+    EXPECT_TRUE(t.awareness(p1.id()).test(p0.id()));     // Read half happened.
+    EXPECT_FALSE(t.familiarity(v).test(p1.id()));        // Write half didn't.
+}
+
+TEST(Awareness, OverwriteResetsFamiliarity) {
+    // Definition 1 case 1: a later non-trivial *write* overwrites F(v)
+    // entirely -- knowledge of earlier writers is destroyed.
+    System sys(Protocol::WriteThrough);
+    const VarId v = sys.memory().allocate("v", 0);
+    Process& p0 = sys.add_process(Role::Reader);
+    Process& p1 = sys.add_process(Role::Reader);
+    p0.set_task(single_write(p0, v, 1));
+    p1.set_task(single_write(p1, v, 2));
+    AwarenessTracker t(2, 1);
+    sys.add_observer(&t);
+    sys.start_all();
+    sys.step(p0.id());
+    sys.step(p1.id());
+    // p1 never read v, so AW(p1) = {p1} and F(v) = AW(p1) = {p1}: p0 gone.
+    EXPECT_FALSE(t.familiarity(v).test(p0.id()));
+    EXPECT_TRUE(t.familiarity(v).test(p1.id()));
+}
+
+TEST(Awareness, TransitiveInformationFlow) {
+    // p0 writes a; p1 reads a then writes b; p2 reads b => p2 aware of p0.
+    System sys(Protocol::WriteThrough);
+    const VarId a = sys.memory().allocate("a");
+    const VarId b = sys.memory().allocate("b");
+    Process& p0 = sys.add_process(Role::Reader);
+    Process& p1 = sys.add_process(Role::Reader);
+    Process& p2 = sys.add_process(Role::Reader);
+    p0.set_task(single_write(p0, a, 1));
+    auto relay = [](Process& p, VarId src, VarId dst) -> SimTask<void> {
+        const Word x = co_await p.read(src);
+        co_await p.write(dst, x + 1);
+    };
+    p1.set_task(relay(p1, a, b));
+    p2.set_task(single_read(p2, b));
+    AwarenessTracker t(3, 2);
+    sys.add_observer(&t);
+    sys.start_all();
+    sys.step(p0.id());
+    sys.step(p1.id());
+    sys.step(p1.id());
+    sys.step(p2.id());
+    EXPECT_TRUE(t.awareness(p2.id()).test(p0.id()));
+    EXPECT_TRUE(t.awareness(p2.id()).test(p1.id()));
+    EXPECT_EQ(t.awareness(p2.id()).count(), 3u);
+}
+
+TEST(Awareness, FragmentResetRebasesKnowledge) {
+    System sys(Protocol::WriteThrough);
+    const VarId v = sys.memory().allocate("v");
+    Process& p0 = sys.add_process(Role::Reader);
+    Process& p1 = sys.add_process(Role::Reader);
+    p0.set_task(single_write(p0, v, 1));
+    p1.set_task(single_read(p1, v));
+    AwarenessTracker t(2, 1);
+    sys.add_observer(&t);
+    sys.start_all();
+    sys.step(p0.id());
+    t.reset_fragment();
+    EXPECT_TRUE(t.familiarity(v).empty());
+    EXPECT_EQ(t.awareness(p0.id()).count(), 1u);
+    // After the reset, p1's read of v is NOT expanding (F(v) = ∅ in the new
+    // fragment, even though v was written in the old one).
+    EXPECT_FALSE(t.would_expand(p1.id(), p1.pending()));
+}
+
+TEST(Awareness, MonotoneWithinFragment) {
+    // Observation 1: awareness sets only grow as a fragment unfolds.
+    System sys(Protocol::WriteThrough);
+    const VarId a = sys.memory().allocate("a");
+    const VarId b = sys.memory().allocate("b");
+    Process& p0 = sys.add_process(Role::Reader);
+    Process& p1 = sys.add_process(Role::Reader);
+    auto writer2 = [](Process& p, VarId x, VarId y) -> SimTask<void> {
+        co_await p.write(x, 1);
+        co_await p.write(y, 1);
+    };
+    auto reader2 = [](Process& p, VarId x, VarId y) -> SimTask<void> {
+        co_await p.read(x);
+        co_await p.read(y);
+    };
+    p0.set_task(writer2(p0, a, b));
+    p1.set_task(reader2(p1, a, b));
+    AwarenessTracker t(2, 2);
+    sys.add_observer(&t);
+    sys.start_all();
+    std::size_t prev = t.awareness(p1.id()).count();
+    sys.step(p0.id());
+    sys.step(p0.id());
+    for (int i = 0; i < 2; ++i) {
+        sys.step(p1.id());
+        EXPECT_GE(t.awareness(p1.id()).count(), prev);
+        prev = t.awareness(p1.id()).count();
+    }
+    EXPECT_EQ(prev, 2u);
+}
+
+// --- Lemma 1 cross-check under random executions ------------------------------
+
+SimTask<void> chatter(Process& p, std::vector<VarId> vars, int rounds,
+                      std::uint64_t seed) {
+    // Deterministic pseudo-random mix of reads/writes/CASes.
+    std::uint64_t x = seed * 2654435761u + 1;
+    for (int i = 0; i < rounds; ++i) {
+        x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+        const VarId v = vars[(x >> 33) % vars.size()];
+        switch ((x >> 13) % 3) {
+            case 0:
+                co_await p.read(v);
+                break;
+            case 1:
+                co_await p.write(v, x % 5);
+                break;
+            default: {
+                const Word cur = co_await p.read(v);
+                co_await p.cas(v, cur, (cur + 1) % 5);
+                break;
+            }
+        }
+    }
+}
+
+class Lemma1Sweep : public ::testing::TestWithParam<
+                        std::tuple<Protocol, std::uint64_t /*seed*/>> {};
+
+TEST_P(Lemma1Sweep, ExpandingStepsAlwaysIncurRmrs) {
+    const auto [proto, seed] = GetParam();
+    System sys(proto);
+    std::vector<VarId> vars;
+    for (int i = 0; i < 4; ++i) {
+        vars.push_back(sys.memory().allocate("v" + std::to_string(i)));
+    }
+    constexpr int kProcs = 5;
+    for (int i = 0; i < kProcs; ++i) {
+        Process& p = sys.add_process(Role::Reader);
+        p.set_task(chatter(p, vars, 60, seed + i));
+    }
+    AwarenessTracker t(kProcs, vars.size());
+    sys.add_observer(&t);
+    sim::RandomScheduler sched(seed ^ 0x9e3779b97f4a7c15ULL);
+    const auto result = sim::run(sys, sched, 100'000);
+    ASSERT_TRUE(result.all_finished);
+    EXPECT_EQ(t.lemma1_violations(), 0u);
+    EXPECT_GT(t.total_expanding_steps(), 0u);
+
+    // Also exercise mid-run fragment rebasing: replay with a reset halfway.
+    System sys2(proto);
+    std::vector<VarId> vars2;
+    for (int i = 0; i < 4; ++i) {
+        vars2.push_back(sys2.memory().allocate("v" + std::to_string(i)));
+    }
+    for (int i = 0; i < kProcs; ++i) {
+        Process& p = sys2.add_process(Role::Reader);
+        p.set_task(chatter(p, vars2, 60, seed + i));
+    }
+    AwarenessTracker t2(kProcs, vars2.size());
+    sys2.add_observer(&t2);
+    sim::RandomScheduler sched2(seed ^ 0x9e3779b97f4a7c15ULL);
+    sim::run(sys2, sched2, 70);  // Partial run...
+    t2.reset_fragment();         // ...rebase (caches keep their state!)...
+    sim::run(sys2, sched2, 100'000);  // ...continue.
+    EXPECT_EQ(t2.lemma1_violations(), 0u);  // Lemma 1 holds per fragment.
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllProtocolsManySeeds, Lemma1Sweep,
+    ::testing::Combine(::testing::Values(Protocol::WriteThrough,
+                                         Protocol::WriteBack),
+                       ::testing::Range<std::uint64_t>(0, 12)));
+
+}  // namespace
+}  // namespace rwr::knowledge

@@ -1,0 +1,242 @@
+// Unit tests for the cache-coherent memory model (src/rmr).
+//
+// Each clause of the protocol definitions quoted in the paper's Section 2
+// gets a test: read hits/misses, write invalidation, exclusive-mode upgrade
+// and downgrade, and CAS triviality semantics.
+#include <gtest/gtest.h>
+
+#include "rmr/memory.hpp"
+
+namespace rwr {
+namespace {
+
+TEST(MemoryBasics, AllocateAndPeek) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v", 42);
+    EXPECT_EQ(mem.peek(v), 42u);
+    EXPECT_EQ(mem.num_variables(), 1u);
+    EXPECT_EQ(mem.name(v), "v");
+}
+
+TEST(MemoryBasics, ReadReturnsValueAndWriteStores) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v", 7);
+    auto r = mem.apply(0, Op::read(v));
+    EXPECT_EQ(r.value, 7u);
+    mem.apply(0, Op::write(v, 9));
+    EXPECT_EQ(mem.peek(v), 9u);
+}
+
+TEST(MemoryBasics, LocalOpRejected) {
+    Memory mem(Protocol::WriteThrough);
+    EXPECT_THROW(mem.apply(0, Op::local()), std::logic_error);
+}
+
+TEST(MemoryBasics, InvalidVarRejected) {
+    Memory mem(Protocol::WriteThrough);
+    EXPECT_THROW(mem.apply(0, Op::read(VarId{5})), std::out_of_range);
+}
+
+// --- Write-through protocol ------------------------------------------------
+
+TEST(WriteThrough, FirstReadIsRmrSecondIsHit) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v");
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);   // Miss: creates cached copy.
+    EXPECT_FALSE(mem.apply(0, Op::read(v)).rmr);  // Hit.
+    EXPECT_TRUE(mem.cached(0, v));
+}
+
+TEST(WriteThrough, WriteAlwaysRmr) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v");
+    EXPECT_TRUE(mem.apply(0, Op::write(v, 1)).rmr);
+    EXPECT_TRUE(mem.apply(0, Op::write(v, 2)).rmr);  // Even back-to-back.
+}
+
+TEST(WriteThrough, WriteInvalidatesOtherCopies) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::read(v));
+    mem.apply(1, Op::read(v));
+    EXPECT_FALSE(mem.apply(1, Op::read(v)).rmr);  // p1 holds a copy.
+    mem.apply(2, Op::write(v, 5));                // Invalidates p0 and p1.
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);
+    EXPECT_TRUE(mem.apply(1, Op::read(v)).rmr);
+    EXPECT_EQ(mem.peek(v), 5u);
+}
+
+TEST(WriteThrough, WriteDoesNotCreateACopy) {
+    // No write-allocate: "invalidates all other cached copies" -- a write
+    // refreshes the writer's own copy only if it already has one.
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::write(v, 5));
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);  // Still a miss.
+}
+
+TEST(WriteThrough, WriterWithExistingCopyKeepsIt) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::read(v));                    // p0 gains a copy.
+    mem.apply(0, Op::write(v, 5));                // Keeps (refreshes) it.
+    EXPECT_FALSE(mem.apply(0, Op::read(v)).rmr);  // Hit.
+}
+
+// --- Write-back protocol ---------------------------------------------------
+
+TEST(WriteBack, WriteHitOnExclusiveIsFree) {
+    Memory mem(Protocol::WriteBack);
+    const VarId v = mem.allocate("v");
+    EXPECT_TRUE(mem.apply(0, Op::write(v, 1)).rmr);   // Acquire exclusive.
+    EXPECT_FALSE(mem.apply(0, Op::write(v, 2)).rmr);  // Exclusive hit.
+    EXPECT_FALSE(mem.apply(0, Op::read(v)).rmr);      // Read hit too.
+    EXPECT_TRUE(mem.cached_exclusive(0, v));
+}
+
+TEST(WriteBack, ReadDowngradesExclusiveHolder) {
+    Memory mem(Protocol::WriteBack);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::write(v, 1));                   // p0 exclusive.
+    EXPECT_TRUE(mem.apply(1, Op::read(v)).rmr);      // Downgrade + share.
+    EXPECT_FALSE(mem.cached_exclusive(0, v));        // p0 now shared...
+    EXPECT_FALSE(mem.apply(0, Op::read(v)).rmr);     // ...but still valid.
+    EXPECT_TRUE(mem.apply(0, Op::write(v, 2)).rmr);  // Upgrade costs an RMR.
+}
+
+TEST(WriteBack, WriteInvalidatesAllSharers) {
+    Memory mem(Protocol::WriteBack);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::read(v));
+    mem.apply(1, Op::read(v));
+    mem.apply(2, Op::write(v, 9));  // Invalidates p0, p1; p2 exclusive.
+    EXPECT_TRUE(mem.cached_exclusive(2, v));
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);
+    EXPECT_TRUE(mem.apply(1, Op::read(v)).rmr);
+    // The reads downgraded p2: its next write is an RMR again.
+    EXPECT_TRUE(mem.apply(2, Op::write(v, 10)).rmr);
+}
+
+TEST(WriteBack, RepeatedSharedReadsAreFree) {
+    Memory mem(Protocol::WriteBack);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::read(v));
+    for (int i = 0; i < 10; ++i) {
+        EXPECT_FALSE(mem.apply(0, Op::read(v)).rmr);
+    }
+}
+
+// --- CAS semantics (paper Section 2) ----------------------------------------
+
+TEST(CasSemantics, ReturnsPriorValueAndSwapsOnMatch) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v", 10);
+    auto r = mem.apply(0, Op::cas(v, 10, 20));
+    EXPECT_EQ(r.value, 10u);  // "returns the value of v prior to application"
+    EXPECT_TRUE(r.nontrivial);
+    EXPECT_EQ(mem.peek(v), 20u);
+}
+
+TEST(CasSemantics, FailedCasIsTrivial) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v", 10);
+    auto r = mem.apply(0, Op::cas(v, 99, 20));
+    EXPECT_EQ(r.value, 10u);
+    EXPECT_FALSE(r.nontrivial);
+    EXPECT_EQ(mem.peek(v), 10u);
+}
+
+TEST(CasSemantics, SuccessfulCasToSameValueIsTrivial) {
+    // A step is trivial "if it does not change the value of the variable".
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v", 10);
+    auto r = mem.apply(0, Op::cas(v, 10, 10));
+    EXPECT_FALSE(r.nontrivial);
+}
+
+TEST(CasSemantics, WriteOfSameValueIsTrivial) {
+    Memory mem(Protocol::WriteBack);
+    const VarId v = mem.allocate("v", 3);
+    EXPECT_FALSE(mem.apply(0, Op::write(v, 3)).nontrivial);
+    EXPECT_TRUE(mem.apply(0, Op::write(v, 4)).nontrivial);
+}
+
+TEST(CasSemantics, CasCountsAsWriteForCoherence) {
+    Memory mem(Protocol::WriteBack);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::read(v));                        // p0 shared.
+    EXPECT_TRUE(mem.apply(1, Op::cas(v, 0, 1)).rmr);  // p1 takes exclusive.
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);       // p0 was invalidated.
+    // A CAS on an exclusively-held line is free in write-back.
+    mem.apply(1, Op::cas(v, 1, 2));  // Re-acquire exclusive (p0's read downgraded).
+    EXPECT_FALSE(mem.apply(1, Op::cas(v, 2, 3)).rmr);
+}
+
+// --- DSM model (Discussion section; experiment E11) -------------------------
+
+TEST(Dsm, OwnerAccessesAreLocal) {
+    Memory mem(Protocol::Dsm);
+    const VarId v = mem.allocate("v", 0, /*owner=*/3);
+    EXPECT_FALSE(mem.apply(3, Op::read(v)).rmr);
+    EXPECT_FALSE(mem.apply(3, Op::write(v, 1)).rmr);
+    EXPECT_FALSE(mem.apply(3, Op::cas(v, 1, 2)).rmr);
+}
+
+TEST(Dsm, RemoteAccessesAlwaysRmr) {
+    Memory mem(Protocol::Dsm);
+    const VarId v = mem.allocate("v", 0, /*owner=*/3);
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);  // No caching: every time.
+    EXPECT_TRUE(mem.apply(0, Op::write(v, 1)).rmr);
+}
+
+TEST(Dsm, UnownedVariablesAreRemoteToEveryone) {
+    Memory mem(Protocol::Dsm);
+    const VarId v = mem.allocate("v");
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);
+    EXPECT_TRUE(mem.apply(7, Op::read(v)).rmr);
+}
+
+TEST(Dsm, RehomingChangesLocality) {
+    Memory mem(Protocol::Dsm);
+    const VarId v = mem.allocate("v", 0, 1);
+    EXPECT_FALSE(mem.apply(1, Op::read(v)).rmr);
+    mem.set_owner(v, 2);
+    EXPECT_TRUE(mem.apply(1, Op::read(v)).rmr);
+    EXPECT_FALSE(mem.apply(2, Op::read(v)).rmr);
+}
+
+// --- Fetch-and-add (baseline primitive) -------------------------------------
+
+TEST(FetchAdd, AddsAndReturnsPrior) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v", 5);
+    auto r = mem.apply(0, Op::fetch_add(v, 3));
+    EXPECT_EQ(r.value, 5u);
+    EXPECT_EQ(mem.peek(v), 8u);
+    EXPECT_TRUE(r.nontrivial);
+    // Delta 0 is trivial.
+    EXPECT_FALSE(mem.apply(0, Op::fetch_add(v, 0)).nontrivial);
+}
+
+TEST(FetchAdd, NegativeDeltaViaTwosComplement) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v", 5);
+    mem.apply(0, Op::fetch_add(v, static_cast<Word>(-2)));
+    EXPECT_EQ(mem.peek(v), 3u);
+}
+
+// --- Accounting --------------------------------------------------------------
+
+TEST(Accounting, TotalsAccumulate) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::read(v));   // RMR
+    mem.apply(0, Op::read(v));   // hit
+    mem.apply(1, Op::write(v, 1));  // RMR
+    EXPECT_EQ(mem.total_steps(), 3u);
+    EXPECT_EQ(mem.total_rmrs(), 2u);
+}
+
+}  // namespace
+}  // namespace rwr
