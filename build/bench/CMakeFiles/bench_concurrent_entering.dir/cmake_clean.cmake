@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_concurrent_entering.dir/bench_concurrent_entering.cpp.o"
+  "CMakeFiles/bench_concurrent_entering.dir/bench_concurrent_entering.cpp.o.d"
+  "bench_concurrent_entering"
+  "bench_concurrent_entering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_concurrent_entering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

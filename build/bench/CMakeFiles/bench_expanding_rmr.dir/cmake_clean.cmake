@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_expanding_rmr.dir/bench_expanding_rmr.cpp.o"
+  "CMakeFiles/bench_expanding_rmr.dir/bench_expanding_rmr.cpp.o.d"
+  "bench_expanding_rmr"
+  "bench_expanding_rmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_expanding_rmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

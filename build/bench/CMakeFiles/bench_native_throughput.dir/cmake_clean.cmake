@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_native_throughput.dir/bench_native_throughput.cpp.o"
+  "CMakeFiles/bench_native_throughput.dir/bench_native_throughput.cpp.o.d"
+  "bench_native_throughput"
+  "bench_native_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_native_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_tradeoff_frontier.cpp" "bench/CMakeFiles/bench_tradeoff_frontier.dir/bench_tradeoff_frontier.cpp.o" "gcc" "bench/CMakeFiles/bench_tradeoff_frontier.dir/bench_tradeoff_frontier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/adversary/CMakeFiles/rwr_adversary.dir/DependInfo.cmake"
+  "/root/repo/build/src/harness/CMakeFiles/rwr_harness.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/rwr_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/counter/CMakeFiles/rwr_counter.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/rwr_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutex/CMakeFiles/rwr_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/knowledge/CMakeFiles/rwr_knowledge.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/rwr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmr/CMakeFiles/rwr_rmr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lab.dir/lab.cpp.o"
+  "CMakeFiles/lab.dir/lab.cpp.o.d"
+  "lab"
+  "lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

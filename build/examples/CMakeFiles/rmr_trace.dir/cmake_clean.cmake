@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rmr_trace.dir/rmr_trace.cpp.o"
+  "CMakeFiles/rmr_trace.dir/rmr_trace.cpp.o.d"
+  "rmr_trace"
+  "rmr_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rmr_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tune_f.dir/tune_f.cpp.o"
+  "CMakeFiles/tune_f.dir/tune_f.cpp.o.d"
+  "tune_f"
+  "tune_f.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tune_f.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

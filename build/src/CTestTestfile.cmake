@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("rmr")
+subdirs("sim")
+subdirs("knowledge")
+subdirs("counter")
+subdirs("mutex")
+subdirs("core")
+subdirs("baselines")
+subdirs("adversary")
+subdirs("native")
+subdirs("harness")

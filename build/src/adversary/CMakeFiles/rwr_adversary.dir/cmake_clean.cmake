@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_adversary.dir/adversary.cpp.o"
+  "CMakeFiles/rwr_adversary.dir/adversary.cpp.o.d"
+  "librwr_adversary.a"
+  "librwr_adversary.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_adversary.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_baselines.dir/phase_fair.cpp.o"
+  "CMakeFiles/rwr_baselines.dir/phase_fair.cpp.o.d"
+  "CMakeFiles/rwr_baselines.dir/sim_baselines.cpp.o"
+  "CMakeFiles/rwr_baselines.dir/sim_baselines.cpp.o.d"
+  "librwr_baselines.a"
+  "librwr_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/af_ablations.cpp" "src/core/CMakeFiles/rwr_core.dir/af_ablations.cpp.o" "gcc" "src/core/CMakeFiles/rwr_core.dir/af_ablations.cpp.o.d"
+  "/root/repo/src/core/af_lock_sim.cpp" "src/core/CMakeFiles/rwr_core.dir/af_lock_sim.cpp.o" "gcc" "src/core/CMakeFiles/rwr_core.dir/af_lock_sim.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/rwr_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/counter/CMakeFiles/rwr_counter.dir/DependInfo.cmake"
+  "/root/repo/build/src/mutex/CMakeFiles/rwr_mutex.dir/DependInfo.cmake"
+  "/root/repo/build/src/rmr/CMakeFiles/rwr_rmr.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

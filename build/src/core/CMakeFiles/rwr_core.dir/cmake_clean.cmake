@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_core.dir/af_ablations.cpp.o"
+  "CMakeFiles/rwr_core.dir/af_ablations.cpp.o.d"
+  "CMakeFiles/rwr_core.dir/af_lock_sim.cpp.o"
+  "CMakeFiles/rwr_core.dir/af_lock_sim.cpp.o.d"
+  "librwr_core.a"
+  "librwr_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_counter.dir/sim_counter.cpp.o"
+  "CMakeFiles/rwr_counter.dir/sim_counter.cpp.o.d"
+  "CMakeFiles/rwr_counter.dir/sim_farray.cpp.o"
+  "CMakeFiles/rwr_counter.dir/sim_farray.cpp.o.d"
+  "librwr_counter.a"
+  "librwr_counter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_counter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librwr_counter.a"
+)

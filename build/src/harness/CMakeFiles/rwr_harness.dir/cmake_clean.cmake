@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_harness.dir/experiment.cpp.o"
+  "CMakeFiles/rwr_harness.dir/experiment.cpp.o.d"
+  "CMakeFiles/rwr_harness.dir/locks.cpp.o"
+  "CMakeFiles/rwr_harness.dir/locks.cpp.o.d"
+  "librwr_harness.a"
+  "librwr_harness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_harness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

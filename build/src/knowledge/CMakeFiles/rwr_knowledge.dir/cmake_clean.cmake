@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_knowledge.dir/awareness.cpp.o"
+  "CMakeFiles/rwr_knowledge.dir/awareness.cpp.o.d"
+  "CMakeFiles/rwr_knowledge.dir/erasure.cpp.o"
+  "CMakeFiles/rwr_knowledge.dir/erasure.cpp.o.d"
+  "librwr_knowledge.a"
+  "librwr_knowledge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_knowledge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

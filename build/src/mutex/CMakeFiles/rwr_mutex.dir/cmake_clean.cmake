@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_mutex.dir/sim_mutex.cpp.o"
+  "CMakeFiles/rwr_mutex.dir/sim_mutex.cpp.o.d"
+  "librwr_mutex.a"
+  "librwr_mutex.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_mutex.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

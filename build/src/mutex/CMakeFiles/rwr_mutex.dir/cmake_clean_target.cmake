@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "librwr_mutex.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_rmr.dir/memory.cpp.o"
+  "CMakeFiles/rwr_rmr.dir/memory.cpp.o.d"
+  "librwr_rmr.a"
+  "librwr_rmr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_rmr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

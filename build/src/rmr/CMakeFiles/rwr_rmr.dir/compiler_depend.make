@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for rwr_rmr.
+# This may be replaced when dependencies are built.

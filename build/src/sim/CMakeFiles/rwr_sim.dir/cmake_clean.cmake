@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rwr_sim.dir/explorer.cpp.o"
+  "CMakeFiles/rwr_sim.dir/explorer.cpp.o.d"
+  "CMakeFiles/rwr_sim.dir/scheduler.cpp.o"
+  "CMakeFiles/rwr_sim.dir/scheduler.cpp.o.d"
+  "librwr_sim.a"
+  "librwr_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rwr_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

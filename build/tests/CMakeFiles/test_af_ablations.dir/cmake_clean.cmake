@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_af_ablations.dir/test_af_ablations.cpp.o"
+  "CMakeFiles/test_af_ablations.dir/test_af_ablations.cpp.o.d"
+  "test_af_ablations"
+  "test_af_ablations.pdb"
+  "test_af_ablations[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_af_ablations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_af_internals.dir/test_af_internals.cpp.o"
+  "CMakeFiles/test_af_internals.dir/test_af_internals.cpp.o.d"
+  "test_af_internals"
+  "test_af_internals.pdb"
+  "test_af_internals[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_af_internals.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_af_lock.dir/test_af_lock.cpp.o"
+  "CMakeFiles/test_af_lock.dir/test_af_lock.cpp.o.d"
+  "test_af_lock"
+  "test_af_lock.pdb"
+  "test_af_lock[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_af_lock.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_checker_teeth.dir/test_checker_teeth.cpp.o"
+  "CMakeFiles/test_checker_teeth.dir/test_checker_teeth.cpp.o.d"
+  "test_checker_teeth"
+  "test_checker_teeth.pdb"
+  "test_checker_teeth[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_checker_teeth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_farray_aggregate.dir/test_farray_aggregate.cpp.o"
+  "CMakeFiles/test_farray_aggregate.dir/test_farray_aggregate.cpp.o.d"
+  "test_farray_aggregate"
+  "test_farray_aggregate.pdb"
+  "test_farray_aggregate[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_farray_aggregate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_pct.dir/test_pct.cpp.o"
+  "CMakeFiles/test_pct.dir/test_pct.cpp.o.d"
+  "test_pct"
+  "test_pct.pdb"
+  "test_pct[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_pct.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rmr_memory.dir/test_rmr_memory.cpp.o"
+  "CMakeFiles/test_rmr_memory.dir/test_rmr_memory.cpp.o.d"
+  "test_rmr_memory"
+  "test_rmr_memory.pdb"
+  "test_rmr_memory[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rmr_memory.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

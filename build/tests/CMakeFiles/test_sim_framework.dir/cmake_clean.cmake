@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_sim_framework.dir/test_sim_framework.cpp.o"
+  "CMakeFiles/test_sim_framework.dir/test_sim_framework.cpp.o.d"
+  "test_sim_framework"
+  "test_sim_framework.pdb"
+  "test_sim_framework[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_sim_framework.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_rmr_memory[1]_include.cmake")
+include("/root/repo/build/tests/test_sim_framework[1]_include.cmake")
+include("/root/repo/build/tests/test_knowledge[1]_include.cmake")
+include("/root/repo/build/tests/test_counter[1]_include.cmake")
+include("/root/repo/build/tests/test_mutex[1]_include.cmake")
+include("/root/repo/build/tests/test_af_lock[1]_include.cmake")
+include("/root/repo/build/tests/test_baselines[1]_include.cmake")
+include("/root/repo/build/tests/test_adversary[1]_include.cmake")
+include("/root/repo/build/tests/test_native[1]_include.cmake")
+include("/root/repo/build/tests/test_erasure[1]_include.cmake")
+include("/root/repo/build/tests/test_pct[1]_include.cmake")
+include("/root/repo/build/tests/test_af_internals[1]_include.cmake")
+include("/root/repo/build/tests/test_model_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_farray_aggregate[1]_include.cmake")
+include("/root/repo/build/tests/test_checker_teeth[1]_include.cmake")
+include("/root/repo/build/tests/test_af_ablations[1]_include.cmake")
+include("/root/repo/build/tests/test_harness[1]_include.cmake")
