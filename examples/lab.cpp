@@ -118,6 +118,81 @@ int cmd_tradeoff(const std::map<std::string, std::string>& f) {
     return res.me_violations == 0 ? 0 : 1;
 }
 
+Section flag_section(const std::map<std::string, std::string>& f) {
+    const auto it = f.find("section");
+    const std::string s = it == f.end() ? "entry" : it->second;
+    if (s == "entry") {
+        return Section::Entry;
+    }
+    if (s == "critical" || s == "cs") {
+        return Section::Critical;
+    }
+    if (s == "exit") {
+        return Section::Exit;
+    }
+    std::cerr << "unknown section '" << s << "' (entry|critical|exit)\n";
+    std::exit(2);
+}
+
+int cmd_faults(const std::map<std::string, std::string>& f) {
+    ExperimentConfig cfg;
+    cfg.lock = flag_lock(f);
+    cfg.protocol = flag_protocol(f);
+    cfg.n = static_cast<std::uint32_t>(flag_u64(f, "n", 2));
+    cfg.m = static_cast<std::uint32_t>(flag_u64(f, "m", 1));
+    cfg.f = static_cast<std::uint32_t>(flag_u64(f, "f", 1));
+    cfg.passages = flag_u64(f, "passages", 2);
+    cfg.seed = flag_u64(f, "seed", 1);
+    cfg.max_steps = flag_u64(f, "max-steps", 100'000);
+    cfg.sched = f.count("round-robin") ? SchedKind::RoundRobin
+                                       : SchedKind::Random;
+    const auto victim =
+        static_cast<rwr::ProcId>(flag_u64(f, "crash", cfg.n + cfg.m));
+    if (victim < cfg.n + cfg.m) {
+        const auto step = flag_u64(f, "step", 1);
+        const auto stall = flag_u64(f, "stall-steps", 0);
+        if (stall > 0) {
+            cfg.faults.stall(victim, flag_section(f), step, stall);
+        } else {
+            cfg.faults.crash(victim, flag_section(f), step);
+        }
+    }
+    cfg.progress_window = flag_u64(f, "window", 2000);
+    cfg.wall_deadline_ms = flag_u64(f, "wall-ms", 0);
+    cfg.record_schedule = true;
+
+    const auto res = run_experiment(cfg);
+    std::printf(
+        "steps=%llu finished=%s surviving-finished=%s crashed=%u "
+        "livelock=%s starvation=%s deadline-expired=%s\n",
+        static_cast<unsigned long long>(res.steps),
+        res.finished ? "yes" : "no",
+        res.all_surviving_finished ? "yes" : "no", res.crashed,
+        res.livelock ? "yes" : "no", res.starvation ? "yes" : "no",
+        res.deadline_expired ? "yes" : "no");
+    if (!res.progress_diagnosis.empty()) {
+        std::printf("--- diagnosis ---\n%s", res.progress_diagnosis.c_str());
+    }
+    if (f.count("replay")) {
+        // Re-run the recorded schedule on a fresh system and check that the
+        // stuck execution reproduces step for step.
+        ExperimentConfig rcfg = cfg;
+        rcfg.replay = res.schedule;
+        const auto second = run_experiment(rcfg);
+        const bool same = second.steps == res.steps &&
+                          second.schedule == res.schedule &&
+                          second.crashed == res.crashed &&
+                          second.livelock == res.livelock &&
+                          second.starvation == res.starvation;
+        std::printf("replay of %zu recorded choices: %s\n",
+                    res.schedule.size(), same ? "identical" : "DIVERGED");
+        if (!same) {
+            return 1;
+        }
+    }
+    return 0;
+}
+
 int cmd_adversary(const std::map<std::string, std::string>& f) {
     adversary::AdversaryConfig cfg;
     cfg.lock = flag_lock(f);
@@ -173,6 +248,9 @@ void usage() {
         "--n --f)\n"
         "  explore    exhaustive schedule search (--lock --n --m --f "
         "--depth)\n"
+        "  faults     crash/stall injection + livelock watchdog (--crash PID "
+        "--section entry|critical|exit --step K [--stall-steps S] "
+        "[--window W] [--wall-ms MS] [--replay 1])\n"
         "  list       list available locks");
 }
 
@@ -193,6 +271,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "explore") {
         return cmd_explore(flags);
+    }
+    if (cmd == "faults") {
+        return cmd_faults(flags);
     }
     if (cmd == "list") {
         for (const auto kind : rwr::harness::all_lock_kinds()) {

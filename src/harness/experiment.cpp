@@ -1,6 +1,7 @@
 #include "harness/experiment.hpp"
 
 #include <algorithm>
+#include <chrono>
 
 namespace rwr::harness {
 
@@ -85,20 +86,79 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     BuiltScenario b = build(cfg, /*throw_on_violation=*/false);
     ExperimentResult res;
 
+    std::unique_ptr<sim::FaultInjector> injector;
+    if (!cfg.faults.empty()) {
+        injector = std::make_unique<sim::FaultInjector>(*b.sys, cfg.faults);
+        b.sys->add_observer(injector.get());
+    }
+    std::unique_ptr<sim::ProgressChecker> progress;
+    if (cfg.progress_window > 0) {
+        progress = std::make_unique<sim::ProgressChecker>(
+            cfg.progress_window, /*throw_on_violation=*/false);
+        b.sys->add_observer(progress.get());
+    }
+
     std::unique_ptr<sim::Scheduler> sched;
-    if (cfg.sched == SchedKind::RoundRobin) {
+    if (!cfg.replay.empty()) {
+        sched = std::make_unique<sim::ReplayScheduler>(cfg.replay);
+    } else if (cfg.sched == SchedKind::RoundRobin) {
         sched = std::make_unique<sim::RoundRobinScheduler>();
     } else {
         sched = std::make_unique<sim::RandomScheduler>(cfg.seed);
     }
-    const auto run_res = sim::run(*b.sys, *sched, cfg.max_steps);
+    std::unique_ptr<sim::RecordingScheduler> recorder;
+    sim::Scheduler* active = sched.get();
+    if (cfg.record_schedule) {
+        recorder = std::make_unique<sim::RecordingScheduler>(*sched);
+        active = recorder.get();
+    }
+
+    // Run in bounded chunks so a livelocked simulation honours the wall
+    // deadline instead of spinning through all of max_steps. Chunking is
+    // invisible to the schedulers (they are stateful per pick), so recorded
+    // schedules replay identically regardless of chunk boundaries.
+    const auto wall_deadline =
+        cfg.wall_deadline_ms > 0
+            ? std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(cfg.wall_deadline_ms)
+            : std::chrono::steady_clock::time_point::max();
+    constexpr std::uint64_t kChunk = 65536;
+    std::uint64_t remaining = cfg.max_steps;
+    bool finished = false;
+    while (remaining > 0) {
+        const std::uint64_t chunk = std::min(remaining, kChunk);
+        const auto rr = sim::run(*b.sys, *active, chunk);
+        res.steps += rr.steps;
+        remaining -= rr.steps;
+        finished = rr.all_finished;
+        if (finished || rr.steps < chunk) {
+            break;  // Done, or no process is runnable.
+        }
+        if (std::chrono::steady_clock::now() >= wall_deadline) {
+            res.deadline_expired = true;
+            res.progress_diagnosis +=
+                "wall deadline (" + std::to_string(cfg.wall_deadline_ms) +
+                " ms) expired after " + std::to_string(res.steps) +
+                " steps\n" + sim::ProgressChecker::describe(*b.sys);
+            break;
+        }
+    }
     b.sys->check_failures();
 
-    res.finished = run_res.all_finished;
-    res.steps = run_res.steps;
+    res.finished = finished;
+    res.all_surviving_finished = b.sys->all_surviving_finished();
+    res.crashed = b.sys->num_crashed();
     if (b.checker) {
         res.max_concurrent_readers = b.checker->max_concurrent_readers();
         res.me_violations = b.checker->violations();
+    }
+    if (progress) {
+        res.livelock = progress->livelock_detected();
+        res.starvation = progress->starvation_detected();
+        res.progress_diagnosis += progress->diagnosis();
+    }
+    if (recorder) {
+        res.schedule = recorder->choices();
     }
     aggregate(*b.records, *b.sys, &res.readers, &res.writers);
     return res;

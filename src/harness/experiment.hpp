@@ -13,6 +13,7 @@
 #include "rmr/stats.hpp"
 #include "sim/checker.hpp"
 #include "sim/explorer.hpp"
+#include "sim/fault.hpp"
 #include "sim/rwlock.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/system.hpp"
@@ -33,6 +34,22 @@ struct ExperimentConfig {
     std::uint64_t seed = 1;
     std::uint64_t max_steps = 50'000'000;
     bool check_mutual_exclusion = true;
+
+    // ---- Robustness knobs (all off by default) --------------------------
+    /// Crash/stall injections applied during the run (sim/fault.hpp).
+    sim::FaultPlan faults;
+    /// >0: attach a ProgressChecker flagging livelock/starvation when no
+    /// section transition happens within this many executed steps.
+    std::uint64_t progress_window = 0;
+    /// Record the schedule as ReplayScheduler-compatible choice indices
+    /// (ExperimentResult::schedule).
+    bool record_schedule = false;
+    /// Non-empty: ignore `sched`/`seed` and replay this choice sequence.
+    std::vector<std::size_t> replay;
+    /// >0: wall-clock deadline. A run exceeding it stops early with
+    /// deadline_expired set and a per-process state dump in
+    /// progress_diagnosis, instead of spinning until max_steps.
+    std::uint64_t wall_deadline_ms = 0;
 };
 
 /// Per-role aggregate over all per-passage records.
@@ -60,6 +77,15 @@ struct ExperimentResult {
     RoleStats writers;
     std::uint32_t max_concurrent_readers = 0;
     std::uint64_t me_violations = 0;
+
+    // ---- Robustness outcomes --------------------------------------------
+    bool all_surviving_finished = false;  ///< Finished modulo crashed procs.
+    std::uint32_t crashed = 0;            ///< Processes killed by the plan.
+    bool livelock = false;                ///< ProgressChecker: global stall.
+    bool starvation = false;              ///< ProgressChecker: stuck process.
+    std::string progress_diagnosis;       ///< Dump at first detection.
+    std::vector<std::size_t> schedule;    ///< When record_schedule is set.
+    bool deadline_expired = false;        ///< Wall deadline hit.
 };
 
 /// Runs the configured experiment once.

@@ -1,0 +1,65 @@
+#include "harness/watchdog.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+
+namespace rwr::harness {
+
+std::string StageBoard::dump() const {
+    std::ostringstream os;
+    for (std::size_t i = 0; i < capacity_; ++i) {
+        os << "  thread " << i << ": "
+           << slots_[i].load(std::memory_order_acquire) << "\n";
+    }
+    return os.str();
+}
+
+std::int64_t Watchdog::now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+}
+
+Watchdog::Watchdog(Options opts)
+    : opts_(std::move(opts)), last_beat_ns_(now_ns()) {
+    monitor_ = std::thread([this] { monitor(); });
+}
+
+Watchdog::~Watchdog() { disarm(); }
+
+void Watchdog::disarm() {
+    stop_.store(true, std::memory_order_release);
+    if (monitor_.joinable()) {
+        monitor_.join();
+    }
+}
+
+void Watchdog::monitor() {
+    const auto timeout_ns =
+        std::chrono::duration_cast<std::chrono::nanoseconds>(opts_.timeout)
+            .count();
+    while (!stop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(opts_.poll);
+        const auto idle =
+            now_ns() - last_beat_ns_.load(std::memory_order_relaxed);
+        if (idle < timeout_ns) {
+            continue;
+        }
+        fired_.store(true, std::memory_order_release);
+        std::string state =
+            opts_.dump ? opts_.dump() : std::string("  (no dump callback)\n");
+        std::string msg = "Watchdog: no heartbeat in " +
+                          std::to_string(opts_.timeout.count()) +
+                          " ms; per-thread protocol state:\n" + state;
+        if (opts_.on_timeout) {
+            opts_.on_timeout(msg);
+            return;
+        }
+        std::fputs(msg.c_str(), stderr);
+        std::fflush(stderr);
+        std::_Exit(kTimeoutExitCode);
+    }
+}
+
+}  // namespace rwr::harness

@@ -1,0 +1,101 @@
+// Wall-clock watchdog for native (threaded) runs.
+//
+// The native locks are blocking: a misbehaving participant (or a protocol
+// bug) can wedge every other thread in a spin loop, and a wedged stress
+// test wedges the whole CI pipeline. A Watchdog monitors heartbeats from
+// the worker threads; if none arrives within the configured window it
+// renders a per-thread protocol-state dump (see StageBoard) to stderr and
+// terminates the process with a nonzero exit code -- a diagnosable failure
+// instead of a hang.
+//
+//   StageBoard board(kThreads);
+//   Watchdog::Options opts;
+//   opts.timeout = std::chrono::seconds(30);
+//   opts.dump = [&] { return board.dump(); };
+//   Watchdog dog(opts);
+//   ... worker threads: board.set(tid, "af.lock_shared"); dog.heartbeat(); ...
+//   dog.disarm();  // Completed in time.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace rwr::harness {
+
+/// Fixed-capacity per-thread stage board: each worker publishes a pointer
+/// to a static string naming its current protocol step; dump() renders all
+/// slots. Lock-free so it stays readable while the workers are wedged.
+class StageBoard {
+   public:
+    explicit StageBoard(std::size_t capacity)
+        : capacity_(capacity),
+          slots_(std::make_unique<std::atomic<const char*>[]>(capacity)) {
+        for (std::size_t i = 0; i < capacity_; ++i) {
+            slots_[i].store("idle", std::memory_order_relaxed);
+        }
+    }
+
+    /// `stage` must point to storage outliving the board (string literals).
+    void set(std::size_t tid, const char* stage) {
+        slots_[tid].store(stage, std::memory_order_release);
+    }
+
+    [[nodiscard]] std::string dump() const;
+
+   private:
+    std::size_t capacity_;
+    std::unique_ptr<std::atomic<const char*>[]> slots_;
+};
+
+class Watchdog {
+   public:
+    /// Exit code on timeout; matches the coreutils `timeout` convention.
+    static constexpr int kTimeoutExitCode = 124;
+
+    struct Options {
+        /// Fires when no heartbeat arrives within this window.
+        std::chrono::milliseconds timeout{30000};
+        /// Monitor poll granularity.
+        std::chrono::milliseconds poll{20};
+        /// Renders per-thread protocol state; called once, on timeout.
+        std::function<std::string()> dump;
+        /// Override for tests. Default: write dump to stderr and
+        /// std::_Exit(kTimeoutExitCode).
+        std::function<void(const std::string&)> on_timeout;
+    };
+
+    explicit Watchdog(Options opts);
+    ~Watchdog();
+
+    Watchdog(const Watchdog&) = delete;
+    Watchdog& operator=(const Watchdog&) = delete;
+
+    /// Any worker thread: report liveness.
+    void heartbeat() {
+        last_beat_ns_.store(now_ns(), std::memory_order_relaxed);
+    }
+
+    /// Stop monitoring (idempotent; also run by the destructor).
+    void disarm();
+
+    [[nodiscard]] bool fired() const {
+        return fired_.load(std::memory_order_acquire);
+    }
+
+   private:
+    static std::int64_t now_ns();
+    void monitor();
+
+    Options opts_;
+    std::atomic<std::int64_t> last_beat_ns_;
+    std::atomic<bool> stop_{false};
+    std::atomic<bool> fired_{false};
+    std::thread monitor_;
+};
+
+}  // namespace rwr::harness

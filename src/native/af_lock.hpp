@@ -11,9 +11,25 @@
 // Freedom, Concurrent Entering, no reader starvation. Writers can starve
 // under a continuous reader flood. RMR complexity: writers Θ(f + log m),
 // readers Θ(log(n/f)) per passage in the CC model.
+//
+// Abortability: try_lock(_shared) and try_lock(_shared)_for let a caller
+// give up on a blocked acquisition. An aborting participant rolls back
+// every announcement it made (C[i]/W[i] increments, the WL climb, the WSIG
+// handshake obligations), so Theorem 18's properties continue to hold for
+// the survivors; see DESIGN.md §8 for the argument. Aborts are bounded:
+// O(log K) steps for a reader, O(f + log m) for a writer.
+//
+// Misuse checks: unless compiled with RWR_AF_MISUSE_CHECKS=0, every
+// entry/exit verifies the caller's id is used consistently (no unlock
+// without lock, no double release driving C[i] negative, no unlock of a WL
+// the caller does not hold, no concurrent reuse of one id) and throws
+// std::logic_error on violation. The checks are one uncontended atomic
+// exchange per call -- negligible next to the f-array tree walk -- but can
+// be stripped for benchmark purity.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <stdexcept>
@@ -22,6 +38,10 @@
 #include "native/counter.hpp"
 #include "native/mutex.hpp"
 #include "native/spin.hpp"
+
+#ifndef RWR_AF_MISUSE_CHECKS
+#define RWR_AF_MISUSE_CHECKS 1
+#endif
 
 namespace rwr::native {
 
@@ -38,50 +58,100 @@ class AfLock {
         }
         wsig_ = std::make_unique<Signal[]>(groups);
         groups_ = groups;
+#if RWR_AF_MISUSE_CHECKS
+        reader_busy_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_);
+        writer_busy_ = std::make_unique<std::atomic<std::uint8_t>[]>(m_);
+#endif
     }
 
     void lock_shared(std::uint32_t reader_id) {
+        lock_shared_until(reader_id, Deadline::infinite());
+    }
+
+    /// Non-blocking reader acquisition: fails iff a writer is past line 18
+    /// (RSIG = WAIT). Failure rolls back the C[i] increment and performs the
+    /// exit-section signalling so no writer is stranded.
+    bool try_lock_shared(std::uint32_t reader_id) {
+        return lock_shared_until(reader_id, Deadline::immediate());
+    }
+
+    template <class Rep, class Period>
+    bool try_lock_shared_for(std::uint32_t reader_id,
+                             std::chrono::duration<Rep, Period> timeout) {
+        return lock_shared_until(reader_id, Deadline::after(timeout));
+    }
+
+    bool lock_shared_until(std::uint32_t reader_id, Deadline deadline) {
         check_reader(reader_id);
+        reader_acquire_guard(reader_id);
         const std::uint32_t g = reader_id / k_;
         const std::uint32_t slot = reader_id % k_;
 
         c_[g]->add(slot, +1);                       // Line 31.
         const std::uint64_t sig = rsig_.load();     // Line 32.
-        if (rs_op(sig) == kRsWait) {                // Line 33.
-            const std::uint64_t seq = sig_seq(sig);
+        if (rs_op(sig) != kRsWait) {                // Line 33.
+            return true;
+        }
+        const std::uint64_t seq = sig_seq(sig);
+        if (!deadline.is_immediate()) {
             w_[g]->add(slot, +1);                   // Line 34.
             help_wcs(g, seq);                       // Line 35.
+            bool acquired = true;
             Backoff backoff;
             while (rsig_.load() == sig) {           // Line 36.
+                if (deadline.poll()) {
+                    acquired = false;
+                    break;
+                }
                 backoff.pause();
             }
             w_[g]->add(slot, -1);                   // Line 37.
+            if (acquired) {
+                return true;
+            }
         }
+        // Abort: after the W[i] rollback above, undoing the C[i] increment
+        // is exactly the exit section (lines 40-48) -- including the
+        // handshake duties, so a writer waiting on this group still gets
+        // its PROCEED/CS signal from us or from a remaining reader.
+        shared_exit_section(g, slot);
+        reader_release_guard(reader_id);
+        return false;
     }
 
     void unlock_shared(std::uint32_t reader_id) {
         check_reader(reader_id);
-        const std::uint32_t g = reader_id / k_;
-        const std::uint32_t slot = reader_id % k_;
-
-        c_[g]->add(slot, -1);                    // Line 40.
-        const std::uint64_t sig = rsig_.load();  // Line 41.
-        const std::uint64_t seq = sig_seq(sig);
-        if (rs_op(sig) == kRsPreEntry) {         // Line 42.
-            if (c_[g]->read() == 0) {            // Line 43.
-                std::uint64_t expected = pack(seq, kWsBot);
-                wsig_[g].word.compare_exchange_strong(
-                    expected, pack(seq, kWsProceed));  // Line 45.
-            }
-        } else if (rs_op(sig) == kRsWait) {  // Line 47.
-            help_wcs(g, seq);                // Line 48.
-        }
+        reader_release_guard(reader_id);
+        shared_exit_section(reader_id / k_, reader_id % k_);
     }
 
     void lock(std::uint32_t writer_id) {
+        lock_until(writer_id, Deadline::infinite());
+    }
+
+    /// Non-blocking writer acquisition: succeeds only if WL is won without
+    /// waiting and no reader is present in any group. Failure rolls the
+    /// protocol forward to the next passage number (the writer exit
+    /// sequence), which releases any reader that parked on line 36.
+    bool try_lock(std::uint32_t writer_id) {
+        return lock_until(writer_id, Deadline::immediate());
+    }
+
+    template <class Rep, class Period>
+    bool try_lock_for(std::uint32_t writer_id,
+                      std::chrono::duration<Rep, Period> timeout) {
+        return lock_until(writer_id, Deadline::after(timeout));
+    }
+
+    bool lock_until(std::uint32_t writer_id, Deadline deadline) {
         check_writer(writer_id);
-        wl_.lock(writer_id);  // Line 6.
+        writer_acquire_guard(writer_id);
+        if (!wl_.lock_until(writer_id, deadline)) {  // Line 6.
+            writer_release_guard(writer_id);
+            return false;
+        }
         const std::uint64_t seq = wseq_.load();  // Stable: we hold WL.
+        note_wl_held(writer_id);
 
         for (std::uint32_t i = 0; i < groups_; ++i) {  // Lines 7-9.
             wsig_[i].word.store(pack(seq, kWsBot));
@@ -92,6 +162,10 @@ class AfLock {
             if (c_[i]->read() > 0) {                   // Line 13.
                 Backoff backoff;
                 while (wsig_[i].word.load() != pack(seq, kWsProceed)) {
+                    if (deadline.poll()) {
+                        abort_writer_entry(writer_id, seq);
+                        return false;
+                    }
                     backoff.pause();  // Line 14.
                 }
             }
@@ -104,18 +178,23 @@ class AfLock {
             if (c_[i]->read() != 0) {                  // Line 20.
                 Backoff backoff;
                 while (wsig_[i].word.load() != pack(seq, kWsCs)) {
+                    if (deadline.poll()) {
+                        abort_writer_entry(writer_id, seq);
+                        return false;
+                    }
                     backoff.pause();  // Line 21.
                 }
             }
         }
+        return true;
     }
 
     void unlock(std::uint32_t writer_id) {
         check_writer(writer_id);
+        check_wl_held(writer_id);
         const std::uint64_t seq = wseq_.load();
-        wseq_.store(seq + 1);                      // Line 25.
-        rsig_.store(pack(seq + 1, kRsNop));        // Line 26.
-        wl_.unlock(writer_id);                     // Line 27.
+        writer_exit_section(writer_id, seq);
+        writer_release_guard(writer_id);
     }
 
     [[nodiscard]] std::uint32_t num_readers() const { return n_; }
@@ -138,6 +217,39 @@ class AfLock {
     }
     static constexpr std::uint64_t sig_seq(std::uint64_t w) { return w >> 8; }
     static constexpr std::uint64_t rs_op(std::uint64_t w) { return w & 0xff; }
+
+    /// Exit section, lines 40-48: shared by unlock_shared and the reader
+    /// abort path (which must discharge the same signalling obligations).
+    void shared_exit_section(std::uint32_t g, std::uint32_t slot) {
+        c_[g]->add(slot, -1);                    // Line 40.
+        const std::uint64_t sig = rsig_.load();  // Line 41.
+        const std::uint64_t seq = sig_seq(sig);
+        if (rs_op(sig) == kRsPreEntry) {         // Line 42.
+            if (c_[g]->read() == 0) {            // Line 43.
+                std::uint64_t expected = pack(seq, kWsBot);
+                wsig_[g].word.compare_exchange_strong(
+                    expected, pack(seq, kWsProceed));  // Line 45.
+            }
+        } else if (rs_op(sig) == kRsWait) {  // Line 47.
+            help_wcs(g, seq);                // Line 48.
+        }
+    }
+
+    /// Exit section, lines 25-27: shared by unlock and the writer abort
+    /// path. Advancing WSEQ invalidates every seq-stamped WSIG handshake of
+    /// the aborted passage, and the RSIG store releases any reader parked
+    /// on line 36.
+    void writer_exit_section(std::uint32_t writer_id, std::uint64_t seq) {
+        wseq_.store(seq + 1);                      // Line 25.
+        rsig_.store(pack(seq + 1, kRsNop));        // Line 26.
+        note_wl_released();
+        wl_.unlock(writer_id);                     // Line 27.
+    }
+
+    void abort_writer_entry(std::uint32_t writer_id, std::uint64_t seq) {
+        writer_exit_section(writer_id, seq);
+        writer_release_guard(writer_id);
+    }
 
     void help_wcs(std::uint32_t g, std::uint64_t seq) {  // Lines 50-54.
         const std::int64_t c = c_[g]->read();
@@ -168,6 +280,53 @@ class AfLock {
         }
     }
 
+    // ---- Misuse detection (compiled out with RWR_AF_MISUSE_CHECKS=0) ----
+#if RWR_AF_MISUSE_CHECKS
+    void reader_acquire_guard(std::uint32_t id) {
+        if (reader_busy_[id].exchange(1) != 0) {
+            throw std::logic_error(
+                "AfLock: reader id already in an acquisition or passage "
+                "(concurrent id reuse or recursive lock_shared)");
+        }
+    }
+    void reader_release_guard(std::uint32_t id) {
+        if (reader_busy_[id].exchange(0) == 0) {
+            throw std::logic_error(
+                "AfLock: unlock_shared without matching lock_shared "
+                "(double release would drive C[i] negative)");
+        }
+    }
+    void writer_acquire_guard(std::uint32_t id) {
+        if (writer_busy_[id].exchange(1) != 0) {
+            throw std::logic_error(
+                "AfLock: writer id already in an acquisition or passage "
+                "(concurrent id reuse or recursive lock)");
+        }
+    }
+    void writer_release_guard(std::uint32_t id) {
+        if (writer_busy_[id].exchange(0) == 0) {
+            throw std::logic_error(
+                "AfLock: unlock without matching lock");
+        }
+    }
+    void note_wl_held(std::uint32_t id) { wl_holder_.store(id); }
+    void note_wl_released() { wl_holder_.store(kNoHolder); }
+    void check_wl_held(std::uint32_t id) const {
+        if (wl_holder_.load() != id) {
+            throw std::logic_error(
+                "AfLock: unlock by a writer that does not hold WL");
+        }
+    }
+#else
+    void reader_acquire_guard(std::uint32_t) {}
+    void reader_release_guard(std::uint32_t) {}
+    void writer_acquire_guard(std::uint32_t) {}
+    void writer_release_guard(std::uint32_t) {}
+    void note_wl_held(std::uint32_t) {}
+    void note_wl_released() {}
+    void check_wl_held(std::uint32_t) const {}
+#endif
+
     std::uint32_t n_, m_, f_, k_, groups_ = 0;
     std::vector<std::unique_ptr<FArrayCounter>> c_;
     std::vector<std::unique_ptr<FArrayCounter>> w_;
@@ -175,6 +334,12 @@ class AfLock {
     std::unique_ptr<Signal[]> wsig_;
     alignas(64) std::atomic<std::uint64_t> wseq_{0};
     alignas(64) std::atomic<std::uint64_t> rsig_{0};  // pack(0, kRsNop).
+#if RWR_AF_MISUSE_CHECKS
+    static constexpr std::uint32_t kNoHolder = 0xffffffffu;
+    std::unique_ptr<std::atomic<std::uint8_t>[]> reader_busy_;
+    std::unique_ptr<std::atomic<std::uint8_t>[]> writer_busy_;
+    alignas(64) mutable std::atomic<std::uint32_t> wl_holder_{kNoHolder};
+#endif
 };
 
 }  // namespace rwr::native

@@ -29,15 +29,47 @@ class TournamentMutex {
         }
     }
 
-    void lock(std::uint32_t slot) {
+    void lock(std::uint32_t slot) { lock_until(slot, Deadline::infinite()); }
+
+    /// Non-blocking acquisition: succeeds only if every node on the path is
+    /// won without waiting. On failure all partial announcements are rolled
+    /// back, so the lock state is as if the call never happened.
+    bool try_lock(std::uint32_t slot) {
+        return lock_until(slot, Deadline::immediate());
+    }
+
+    template <class Rep, class Period>
+    bool try_lock_for(std::uint32_t slot,
+                      std::chrono::duration<Rep, Period> timeout) {
+        return lock_until(slot, Deadline::after(timeout));
+    }
+
+    /// Climbs the arbitration tree; aborts (and rolls back) if `deadline`
+    /// expires while waiting at some node. Aborting at a node is the
+    /// classic abortable-Peterson retreat: clear our competing flag (which
+    /// unblocks a rival spinning on it), then release the already-won nodes
+    /// below in the same top-down order unlock() uses.
+    bool lock_until(std::uint32_t slot, Deadline deadline) {
         check_slot(slot);
+        std::uint32_t won[32];  // Node indices won so far, bottom-up.
+        std::uint32_t depth = 0;
         std::uint32_t pos = (num_leaves_ - 1) + slot;
         while (pos != 0) {
             const std::uint32_t parent = (pos - 1) / 2;
             const int side = pos == 2 * parent + 1 ? 0 : 1;
-            node_lock(parent, side);
+            if (!node_lock(parent, side, deadline)) {
+                for (std::uint32_t i = depth; i-- > 0;) {
+                    const std::uint32_t child = won[i];
+                    const std::uint32_t p = (child - 1) / 2;
+                    const int s = child == 2 * p + 1 ? 0 : 1;
+                    nodes_[p].flag[s].store(0);
+                }
+                return false;
+            }
+            won[depth++] = pos;
             pos = parent;
         }
+        return true;
     }
 
     void unlock(std::uint32_t slot) {
@@ -66,7 +98,7 @@ class TournamentMutex {
         std::atomic<std::uint32_t> victim{0};
     };
 
-    void node_lock(std::uint32_t n, int side) {
+    bool node_lock(std::uint32_t n, int side, Deadline& deadline) {
         Node& node = nodes_[n];
         node.flag[side].store(1);
         node.victim.store(static_cast<std::uint32_t>(side));
@@ -75,10 +107,14 @@ class TournamentMutex {
         // seq_cst throughout -- Peterson is broken under weaker orderings.
         for (;;) {
             if (node.flag[1 - side].load() == 0) {
-                return;
+                return true;
             }
             if (node.victim.load() != static_cast<std::uint32_t>(side)) {
-                return;
+                return true;
+            }
+            if (deadline.poll()) {
+                node.flag[side].store(0);
+                return false;
             }
             backoff.pause();
         }

@@ -10,6 +10,7 @@
 // modes, nor recursively.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -116,6 +117,34 @@ class AfSharedMutex {
     void lock() { lock_.lock(detail::thread_slots().get(writer_slots_)); }
     void unlock() {
         lock_.unlock(detail::thread_slots().get(writer_slots_));
+    }
+
+    // std::shared_timed_mutex-style abortable acquisition; composes with
+    // std::shared_lock/std::unique_lock try_to_lock and timed constructors.
+    bool try_lock_shared() {
+        return lock_.try_lock_shared(detail::thread_slots().get(reader_slots_));
+    }
+    bool try_lock() {
+        return lock_.try_lock(detail::thread_slots().get(writer_slots_));
+    }
+    template <class Rep, class Period>
+    bool try_lock_shared_for(std::chrono::duration<Rep, Period> timeout) {
+        return lock_.try_lock_shared_for(
+            detail::thread_slots().get(reader_slots_), timeout);
+    }
+    template <class Rep, class Period>
+    bool try_lock_for(std::chrono::duration<Rep, Period> timeout) {
+        return lock_.try_lock_for(detail::thread_slots().get(writer_slots_),
+                                  timeout);
+    }
+    template <class Clock, class Duration>
+    bool try_lock_shared_until(
+        std::chrono::time_point<Clock, Duration> deadline) {
+        return try_lock_shared_for(deadline - Clock::now());
+    }
+    template <class Clock, class Duration>
+    bool try_lock_until(std::chrono::time_point<Clock, Duration> deadline) {
+        return try_lock_for(deadline - Clock::now());
     }
 
     [[nodiscard]] const AfLock& underlying() const { return lock_; }

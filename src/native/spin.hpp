@@ -1,12 +1,17 @@
-// Spin-wait helper for native (std::atomic) lock implementations.
+// Spin-wait helpers for native (std::atomic) lock implementations.
 //
 // All native locks in this library busy-wait exactly where the paper's
 // algorithms do (they are local-spin algorithms: each await loop re-reads a
 // variable that changes O(1) times per passage). On real multiprocessors the
 // spin body should pause; on oversubscribed machines it must yield, or a
-// spinner can monopolize the core the lock holder needs.
+// spinner can monopolize the core the lock holder needs; and on a CI runner
+// with fewer cores than threads a long wait must eventually sleep, or every
+// blocked thread burns a full core for the whole wait.
 #pragma once
 
+#include <chrono>
+#include <cstdint>
+#include <optional>
 #include <thread>
 
 #if defined(__x86_64__) || defined(__i386__)
@@ -25,24 +30,95 @@ inline void cpu_relax() {
 #endif
 }
 
-/// Escalating backoff: pause a few times, then start yielding to the OS
-/// scheduler (essential on machines with fewer cores than threads).
+/// Escalating backoff: pause a few times, then yield to the OS scheduler,
+/// then (after sustained yielding) sleep in bounded, escalating slices. The
+/// sleep stage caps the cost of a long wait on oversubscribed machines at
+/// one wakeup per kSleepCap instead of a busy core, while the earlier
+/// stages keep the uncontended hand-off latency unchanged.
 class Backoff {
    public:
     void pause() {
         if (spins_ < kSpinLimit) {
             ++spins_;
             cpu_relax();
-        } else {
+        } else if (spins_ < kSpinLimit + kYieldLimit) {
+            ++spins_;
             std::this_thread::yield();
+        } else {
+            std::this_thread::sleep_for(sleep_);
+            if (sleep_ < kSleepCap) {
+                sleep_ *= 2;
+            }
         }
     }
 
-    void reset() { spins_ = 0; }
+    void reset() {
+        spins_ = 0;
+        sleep_ = kSleepStart;
+    }
 
    private:
     static constexpr int kSpinLimit = 64;
+    static constexpr int kYieldLimit = 256;
+    static constexpr std::chrono::microseconds kSleepStart{50};
+    static constexpr std::chrono::microseconds kSleepCap{1000};
     int spins_ = 0;
+    std::chrono::microseconds sleep_ = kSleepStart;
+};
+
+/// Deadline for abortable/timed acquisition paths. Three flavours:
+///   * infinite()  -- never expires (blocking acquisition),
+///   * immediate() -- already expired (pure try_* paths),
+///   * after(d) / at(tp) -- expires at a steady_clock instant.
+/// poll() amortizes clock reads: only every kStride calls does it actually
+/// read the clock, so hot spin loops can poll unconditionally.
+class Deadline {
+   public:
+    static Deadline infinite() { return Deadline{}; }
+    static Deadline immediate() {
+        return Deadline{std::chrono::steady_clock::time_point::min()};
+    }
+    static Deadline at(std::chrono::steady_clock::time_point tp) {
+        return Deadline{tp};
+    }
+    template <class Rep, class Period>
+    static Deadline after(std::chrono::duration<Rep, Period> d) {
+        if (d <= d.zero()) {
+            return immediate();
+        }
+        return Deadline{std::chrono::steady_clock::now() +
+                        std::chrono::duration_cast<
+                            std::chrono::steady_clock::duration>(d)};
+    }
+
+    [[nodiscard]] bool is_infinite() const { return !when_.has_value(); }
+    [[nodiscard]] bool is_immediate() const {
+        return when_.has_value() &&
+               *when_ == std::chrono::steady_clock::time_point::min();
+    }
+
+    /// True once the deadline has passed. Reads the clock at most every
+    /// kStride calls; infinite and immediate deadlines never touch it.
+    [[nodiscard]] bool poll() {
+        if (!when_.has_value()) {
+            return false;
+        }
+        if (is_immediate()) {
+            return true;
+        }
+        if (++calls_ % kStride != 1) {
+            return false;
+        }
+        return std::chrono::steady_clock::now() >= *when_;
+    }
+
+   private:
+    Deadline() = default;
+    explicit Deadline(std::chrono::steady_clock::time_point tp) : when_(tp) {}
+
+    static constexpr std::uint32_t kStride = 8;
+    std::optional<std::chrono::steady_clock::time_point> when_;
+    std::uint32_t calls_ = 0;
 };
 
 }  // namespace rwr::native

@@ -79,4 +79,151 @@ class MutualExclusionChecker final : public StepObserver {
     std::string first_violation_;
 };
 
+class ProgressViolation : public std::runtime_error {
+   public:
+    using std::runtime_error::runtime_error;
+};
+
+/// Livelock / starvation watchdog. Two signals, both windowed over
+/// *executed* steps:
+///
+///   * livelock: no process anywhere completed a section transition in the
+///     last `window` steps -- the system is spinning without progress
+///     (e.g. every survivor awaits a signal a crashed process owed them);
+///   * starvation: one process has executed more than `window` steps inside
+///     a single entry or exit section while others transition -- it is
+///     being passed over (e.g. a writer spinning on a group counter a
+///     crashed reader left nonzero).
+///
+/// On detection it freezes a human-readable diagnosis (per-process section,
+/// passage count, crash/stall flags). Pair with a RecordingScheduler
+/// (sim/scheduler.hpp): its choice trace replayed through ReplayScheduler
+/// together with the same FaultPlan reproduces the stuck execution
+/// deterministically.
+class ProgressChecker final : public StepObserver {
+   public:
+    explicit ProgressChecker(std::uint64_t window,
+                             bool throw_on_violation = false)
+        : window_(window), throw_on_violation_(throw_on_violation) {}
+
+    void on_step(const System& sys, const Process& p, const Op& op,
+                 const OpResult& res) override {
+        (void)op;
+        (void)res;
+        ++steps_seen_;
+        if (last_section_.size() < sys.num_processes()) {
+            last_section_.resize(sys.num_processes(), Section::Remainder);
+            steps_in_section_.resize(sys.num_processes(), 0);
+        }
+        const ProcId id = p.id();
+        if (p.section() != last_section_[id]) {
+            last_section_[id] = p.section();
+            steps_in_section_[id] = 0;
+            last_transition_step_ = steps_seen_;
+        } else {
+            ++steps_in_section_[id];
+        }
+        if (window_ == 0) {
+            return;
+        }
+        if (steps_seen_ - last_transition_step_ > window_) {
+            flag_livelock(sys);
+        }
+        const bool waiting_section = p.section() == Section::Entry ||
+                                     p.section() == Section::Exit;
+        if (waiting_section && steps_in_section_[id] > window_) {
+            flag_starvation(sys, p);
+        }
+    }
+
+    [[nodiscard]] bool livelock_detected() const { return livelock_; }
+    [[nodiscard]] bool starvation_detected() const {
+        return !starving_.empty();
+    }
+    [[nodiscard]] const std::vector<ProcId>& starving() const {
+        return starving_;
+    }
+    /// Frozen at first detection; empty while the run is healthy.
+    [[nodiscard]] const std::string& diagnosis() const { return diagnosis_; }
+
+    /// Per-process progress snapshot (also usable on a healthy system).
+    [[nodiscard]] static std::string describe(const System& sys) {
+        std::ostringstream os;
+        for (ProcId id = 0; id < sys.num_processes(); ++id) {
+            const Process& q = sys.process(id);
+            os << "  p" << id << " (" << to_string(q.role()) << " "
+               << q.role_index() << "): section=" << section_name(q.section())
+               << " passages=" << q.completed_passages();
+            if (q.crashed()) {
+                os << " CRASHED";
+            }
+            if (q.stalled()) {
+                os << " stalled";
+            }
+            if (q.finished()) {
+                os << " finished";
+            }
+            os << "\n";
+        }
+        return os.str();
+    }
+
+   private:
+    static const char* section_name(Section s) {
+        switch (s) {
+            case Section::Entry:
+                return "entry";
+            case Section::Critical:
+                return "critical";
+            case Section::Exit:
+                return "exit";
+            default:
+                return "remainder";
+        }
+    }
+
+    void flag_livelock(const System& sys) {
+        if (livelock_) {
+            return;
+        }
+        livelock_ = true;
+        record(sys, "livelock: no section transition in the last " +
+                        std::to_string(window_) + " steps\n");
+    }
+
+    void flag_starvation(const System& sys, const Process& p) {
+        for (const ProcId s : starving_) {
+            if (s == p.id()) {
+                return;
+            }
+        }
+        starving_.push_back(p.id());
+        record(sys, "starvation: p" + std::to_string(p.id()) + " (" +
+                        to_string(p.role()) + ") executed > " +
+                        std::to_string(window_) +
+                        " steps inside one section\n");
+    }
+
+    void record(const System& sys, const std::string& headline) {
+        if (diagnosis_.empty()) {
+            diagnosis_ = headline + describe(sys);
+        } else {
+            diagnosis_ += headline;
+        }
+        if (throw_on_violation_) {
+            throw ProgressViolation(diagnosis_);
+        }
+    }
+
+    std::uint64_t window_;
+    bool throw_on_violation_;
+    std::uint64_t steps_seen_ = 0;
+    std::uint64_t last_transition_step_ = 0;
+    std::vector<Section> last_section_;
+    std::vector<std::uint64_t> steps_in_section_;
+    bool livelock_ = false;
+    std::vector<ProcId> starving_;
+    std::string diagnosis_;
+};
+
 }  // namespace rwr::sim

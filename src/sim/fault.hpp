@@ -1,0 +1,125 @@
+// Crash-fault injection for simulated executions.
+//
+// A FaultPlan names, per fault, a victim process, a section, a step count
+// within that section, and a kind:
+//   * Crash -- the victim halts forever after executing that step (the
+//     crash-stop model of the recoverable-mutual-exclusion literature,
+//     minus recovery: announcements the victim made in shared memory stay
+//     behind, which is exactly what makes a blocking lock starve).
+//   * Stall -- the victim is paused for a given number of *global* steps,
+//     modelling a preempted or swapped-out thread, then resumes.
+//
+// The FaultInjector is a StepObserver: it watches each executed step and
+// fires a fault the moment the victim has executed `step_in_section` steps
+// while in the matching section (counted cumulatively across passages).
+// Because faults are keyed to the deterministic step stream, a run under a
+// ReplayScheduler with the same FaultPlan reproduces the faulty execution
+// exactly -- see ProgressChecker (sim/checker.hpp) and RecordingScheduler
+// (sim/scheduler.hpp) for the detection + trace side.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "sim/system.hpp"
+
+namespace rwr::sim {
+
+enum class FaultKind : std::uint8_t { Crash, Stall };
+
+struct FaultSpec {
+    ProcId victim = 0;
+    Section section = Section::Entry;
+    /// Fire after the victim has executed this many steps in `section`
+    /// (1 = immediately after its first such step).
+    std::uint64_t step_in_section = 1;
+    FaultKind kind = FaultKind::Crash;
+    /// Stall only: global steps executed by others before the victim
+    /// resumes. If the rest of the system quiesces first, the stall never
+    /// ends (it degenerates to a crash), since resumption is driven by
+    /// observed steps.
+    std::uint64_t stall_steps = 0;
+};
+
+struct FaultPlan {
+    std::vector<FaultSpec> faults;
+
+    FaultPlan& crash(ProcId victim, Section section,
+                     std::uint64_t step_in_section = 1) {
+        faults.push_back({victim, section, step_in_section,
+                          FaultKind::Crash, 0});
+        return *this;
+    }
+    FaultPlan& stall(ProcId victim, Section section,
+                     std::uint64_t step_in_section, std::uint64_t steps) {
+        faults.push_back({victim, section, step_in_section,
+                          FaultKind::Stall, steps});
+        return *this;
+    }
+    [[nodiscard]] bool empty() const { return faults.empty(); }
+};
+
+class FaultInjector final : public StepObserver {
+   public:
+    FaultInjector(System& sys, FaultPlan plan)
+        : sys_(sys), plan_(std::move(plan)) {
+        fired_.assign(plan_.faults.size(), false);
+        steps_in_section_.assign(plan_.faults.size(), 0);
+    }
+
+    void on_step(const System& sys, const Process& p, const Op& op,
+                 const OpResult& res) override {
+        (void)op;
+        (void)res;
+        // Resume stalls that have served their time. Resumption is checked
+        // on every executed step, so it is deterministic in the step index.
+        for (std::size_t i = 0; i < stalled_.size();) {
+            if (sys.steps_executed() >= stalled_[i].second) {
+                sys_.process(stalled_[i].first).set_stalled(false);
+                stalled_[i] = stalled_.back();
+                stalled_.pop_back();
+            } else {
+                ++i;
+            }
+        }
+        for (std::size_t i = 0; i < plan_.faults.size(); ++i) {
+            if (fired_[i]) {
+                continue;
+            }
+            const FaultSpec& spec = plan_.faults[i];
+            if (p.id() != spec.victim || p.section() != spec.section) {
+                continue;
+            }
+            if (++steps_in_section_[i] < spec.step_in_section) {
+                continue;
+            }
+            fired_[i] = true;
+            ++num_fired_;
+            if (spec.kind == FaultKind::Crash) {
+                sys_.process(spec.victim).crash();
+            } else {
+                sys_.process(spec.victim).set_stalled(true);
+                stalled_.emplace_back(spec.victim,
+                                      sys.steps_executed() + spec.stall_steps);
+            }
+        }
+    }
+
+    [[nodiscard]] std::size_t num_fired() const { return num_fired_; }
+    [[nodiscard]] bool fired(std::size_t fault_index) const {
+        return fired_.at(fault_index);
+    }
+    [[nodiscard]] const FaultPlan& plan() const { return plan_; }
+
+   private:
+    System& sys_;
+    FaultPlan plan_;
+    std::vector<bool> fired_;
+    std::vector<std::uint64_t> steps_in_section_;
+    /// (victim, global step at which to resume).
+    std::vector<std::pair<ProcId, std::uint64_t>> stalled_;
+    std::size_t num_fired_ = 0;
+};
+
+}  // namespace rwr::sim

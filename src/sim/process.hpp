@@ -63,8 +63,20 @@ class Process {
     [[nodiscard]] bool failed() const { return task_.valid() && task_.failed(); }
     void rethrow_if_failed() const { task_.rethrow_if_failed(); }
 
+    // ---- Fault injection (sim/fault.hpp) --------------------------------
+    // A crashed process takes no further steps, ever: its pending op stays
+    // registered but is never executed (the crash-fault model of the RME
+    // literature, minus recovery). A stalled process is paused until the
+    // injector resumes it.
+
+    void crash() { crashed_ = true; }
+    [[nodiscard]] bool crashed() const { return crashed_; }
+    void set_stalled(bool stalled) { stalled_ = stalled; }
+    [[nodiscard]] bool stalled() const { return stalled_; }
+
     [[nodiscard]] bool runnable() const {
-        return started_ && !finished() && pending_.has_value();
+        return started_ && !finished() && !crashed_ && !stalled_ &&
+               pending_.has_value();
     }
     [[nodiscard]] const Op& pending() const {
         assert(pending_.has_value());
@@ -143,6 +155,8 @@ class Process {
 
     SimTask<void> task_;
     bool started_ = false;
+    bool crashed_ = false;
+    bool stalled_ = false;
     std::coroutine_handle<> resume_point_;
     std::optional<Op> pending_;
     OpResult op_result_;

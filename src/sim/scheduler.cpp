@@ -62,6 +62,15 @@ ProcId PctScheduler::pick(const System& sys,
     return best;
 }
 
+ProcId RecordingScheduler::pick(const System& sys,
+                                const std::vector<ProcId>& runnable) {
+    const ProcId chosen = inner_.pick(sys, runnable);
+    const auto it =
+        std::lower_bound(runnable.begin(), runnable.end(), chosen);
+    choices_.push_back(static_cast<std::size_t>(it - runnable.begin()));
+    return chosen;
+}
+
 ProcId ReplayScheduler::pick(const System& sys,
                              const std::vector<ProcId>& runnable) {
     if (next_ < choices_.size()) {

@@ -87,6 +87,26 @@ class ReplayScheduler final : public Scheduler {
     RoundRobinScheduler fallback_;
 };
 
+/// Decorator that records, for every pick of the wrapped scheduler, the
+/// chosen *index* into the runnable set (sorted by pid). The resulting
+/// choice sequence fed to a ReplayScheduler over an identically-built
+/// system (same processes, same FaultPlan) reproduces the execution step
+/// for step -- the reproduction path for faults found by ProgressChecker.
+class RecordingScheduler final : public Scheduler {
+   public:
+    explicit RecordingScheduler(Scheduler& inner) : inner_(inner) {}
+
+    ProcId pick(const System& sys, const std::vector<ProcId>& runnable) override;
+
+    [[nodiscard]] const std::vector<std::size_t>& choices() const {
+        return choices_;
+    }
+
+   private:
+    Scheduler& inner_;
+    std::vector<std::size_t> choices_;
+};
+
 struct RunResult {
     std::uint64_t steps = 0;
     bool all_finished = false;

@@ -107,6 +107,27 @@ class System {
         return true;
     }
 
+    /// Fault-tolerant completion: every process either finished its task or
+    /// was crashed by fault injection (sim/fault.hpp).
+    [[nodiscard]] bool all_surviving_finished() const {
+        for (const auto& p : processes_) {
+            if (!p->finished() && !p->crashed()) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    [[nodiscard]] std::uint32_t num_crashed() const {
+        std::uint32_t crashed = 0;
+        for (const auto& p : processes_) {
+            if (p->crashed()) {
+                ++crashed;
+            }
+        }
+        return crashed;
+    }
+
     /// Throws if any process's coroutine escaped with an exception.
     void check_failures() const {
         for (const auto& p : processes_) {
