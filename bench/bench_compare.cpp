@@ -1,0 +1,161 @@
+// Perf-trajectory regression check over "rwr-bench-v1" JSON files.
+//
+//   bench_compare --check FILE.json          validate schema, exit 0/1
+//   bench_compare OLD.json NEW.json [--max-drop 0.10]
+//
+// Compare mode joins rows on (bench, lock, protocol, n, m, f, threads) and
+// flags: throughput_ops drops beyond --max-drop (noisy, wall-clock), and
+// sim_rmr mean-passage *increases* beyond the same fraction (deterministic
+// counts -- any growth is a real protocol regression). Exit 1 iff any row
+// is flagged, so CI or a local loop can gate on it:
+//
+//   bench_native_throughput --json new.json && bench_compare BENCH_native.json new.json
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/bench_json.hpp"
+
+namespace {
+
+using rwr::harness::json::Value;
+namespace bench = rwr::harness::bench;
+
+std::string row_key(const std::string& bench_name, const Value& row) {
+    auto field = [&row](const char* k) -> std::string {
+        const Value* v = row.find(k);
+        if (v == nullptr) {
+            return "-";
+        }
+        return v->type() == Value::Type::String
+                   ? v->as_string()
+                   : std::to_string(v->as_uint());
+    };
+    return bench_name + "/" + field("lock") + "/" + field("protocol") +
+           "/n" + field("n") + "/m" + field("m") + "/f" + field("f") +
+           "/t" + field("threads");
+}
+
+std::map<std::string, const Value*> index_rows(const Value& doc) {
+    const std::string name = doc.find("bench")->as_string();
+    std::map<std::string, const Value*> idx;
+    for (const auto& row : doc.find("results")->items()) {
+        idx[row_key(name, row)] = &row;
+    }
+    return idx;
+}
+
+struct Flagged {
+    std::string key, what;
+    double before, after, change;
+};
+
+/// change > 0 is "worse" for the caller's chosen direction.
+void diff_metric(const std::string& key, const char* what, double before,
+                 double after, bool drop_is_bad, double max_frac,
+                 std::vector<Flagged>* flags) {
+    if (before <= 0) {
+        return;  // No meaningful baseline.
+    }
+    const double frac =
+        drop_is_bad ? (before - after) / before : (after - before) / before;
+    if (frac > max_frac) {
+        flags->push_back({key, what, before, after, frac});
+    }
+}
+
+int compare(const Value& oldd, const Value& newd, double max_frac) {
+    const auto old_idx = index_rows(oldd);
+    const auto new_idx = index_rows(newd);
+    std::vector<Flagged> flags;
+    std::size_t joined = 0;
+    for (const auto& [key, old_row] : old_idx) {
+        const auto it = new_idx.find(key);
+        if (it == new_idx.end()) {
+            std::cout << "  [gone]    " << key << "\n";
+            continue;
+        }
+        ++joined;
+        const Value* new_row = it->second;
+        const Value* old_t = old_row->find("throughput_ops");
+        const Value* new_t = new_row->find("throughput_ops");
+        if (old_t != nullptr && new_t != nullptr) {
+            diff_metric(key, "throughput_ops", old_t->as_double(),
+                        new_t->as_double(), /*drop_is_bad=*/true, max_frac,
+                        &flags);
+        }
+        const Value* old_r = old_row->find("sim_rmr");
+        const Value* new_r = new_row->find("sim_rmr");
+        if (old_r != nullptr && new_r != nullptr) {
+            for (const char* m :
+                 {"reader_mean_passage", "writer_mean_passage"}) {
+                const Value* ov = old_r->find(m);
+                const Value* nv = new_r->find(m);
+                if (ov != nullptr && nv != nullptr) {
+                    diff_metric(key, m, ov->as_double(), nv->as_double(),
+                                /*drop_is_bad=*/false, max_frac, &flags);
+                }
+            }
+        }
+    }
+    for (const auto& [key, row] : new_idx) {
+        if (old_idx.find(key) == old_idx.end()) {
+            std::cout << "  [new]     " << key << "\n";
+        }
+        (void)row;
+    }
+    std::cout << joined << " rows joined, " << flags.size()
+              << " regression(s) beyond " << max_frac * 100 << "%\n";
+    for (const auto& f : flags) {
+        std::cout << "  [REGRESS] " << f.key << " " << f.what << ": "
+                  << f.before << " -> " << f.after << " ("
+                  << (f.change * 100) << "% worse)\n";
+    }
+    return flags.empty() ? 0 : 1;
+}
+
+int usage() {
+    std::cerr << "usage: bench_compare --check FILE.json\n"
+                 "       bench_compare OLD.json NEW.json [--max-drop FRAC]\n";
+    return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    bool check_only = false;
+    double max_frac = 0.10;
+    std::vector<std::string> files;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--check") == 0) {
+            check_only = true;
+        } else if (std::strcmp(argv[i], "--max-drop") == 0 && i + 1 < argc) {
+            max_frac = std::stod(argv[++i]);
+        } else {
+            files.emplace_back(argv[i]);
+        }
+    }
+    try {
+        if (check_only) {
+            if (files.size() != 1) {
+                return usage();
+            }
+            bench::validate(bench::read_file(files[0]));
+            std::cout << files[0] << ": schema ok\n";
+            return 0;
+        }
+        if (files.size() != 2) {
+            return usage();
+        }
+        const Value oldd = bench::read_file(files[0]);
+        const Value newd = bench::read_file(files[1]);
+        bench::validate(oldd);
+        bench::validate(newd);
+        return compare(oldd, newd, max_frac);
+    } catch (const std::exception& e) {
+        std::cerr << "bench_compare: " << e.what() << "\n";
+        return 1;
+    }
+}

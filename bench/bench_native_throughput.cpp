@@ -1,17 +1,32 @@
 // E9 -- native throughput: AfLock / AfSharedMutex vs baselines vs
 // std::shared_mutex under read-heavy, mixed and write-heavy workloads.
 //
+// Two modes:
+//   * default: the google-benchmark suite below (human-readable timings);
+//   * --json <path> [--ms N]: the perf pipeline -- drives the telemetry-
+//     instrumented workload grid (native/perf.hpp) and writes an
+//     "rwr-bench-v1" document with throughput, latency quantiles and
+//     telemetry counters per config. `--ms` scales per-config duration
+//     (default 200; CI smoke uses less). BENCH_native.json at the repo
+//     root is this file's checked-in trajectory baseline; regenerate with
+//     `bench_native_throughput --json BENCH_native.json`.
+//
 // CAVEAT (EXPERIMENTS.md): this host may expose a single core; numbers here
 // are indicative of instruction-path cost, not of the RMR behaviour the
 // paper is about (the simulator benches carry the reproduction). Thread
 // counts stay small on purpose.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <iostream>
 #include <shared_mutex>
+#include <string>
 #include <thread>
 
+#include "harness/bench_json.hpp"
 #include "native/af_lock.hpp"
 #include "native/baselines.hpp"
+#include "native/perf.hpp"
 #include "native/shared_mutex.hpp"
 
 namespace {
@@ -128,6 +143,95 @@ void std_mixed(benchmark::State& state) {
 }
 BENCHMARK(std_mixed)->Arg(16)->Arg(128)->Threads(4)->UseRealTime()->MinTime(0.05);
 
+// ---- JSON perf pipeline (--json) -------------------------------------
+
+int run_json_mode(const std::string& path, std::uint32_t ms) {
+    namespace perf = rwr::native::perf;
+    namespace bench = rwr::harness::bench;
+
+    struct Case {
+        perf::PerfLock lock;
+        std::uint32_t readers, writers, f;
+    };
+    // The grid: the uncontended 1r/1w point (the telemetry-overhead
+    // acceptance config), a small contended mix for every lock, and two
+    // A_f f-sweep points (the tradeoff axis the paper is about).
+    const Case grid[] = {
+        {perf::PerfLock::Af, 1, 1, 1},
+        {perf::PerfLock::Af, 4, 1, 2},
+        {perf::PerfLock::Af, 4, 1, 4},
+        {perf::PerfLock::Af, 8, 2, 0},
+        {perf::PerfLock::Centralized, 1, 1, 1},
+        {perf::PerfLock::Centralized, 4, 1, 1},
+        {perf::PerfLock::Faa, 4, 1, 1},
+        {perf::PerfLock::PhaseFair, 4, 1, 1},
+    };
+
+    auto doc = bench::make_doc("native_throughput");
+    auto& results = doc.set("results", rwr::harness::json::Value::array());
+    for (const Case& c : grid) {
+        perf::PerfConfig cfg;
+        cfg.lock = c.lock;
+        cfg.readers = c.readers;
+        cfg.writers = c.writers;
+        cfg.f = c.f;
+        cfg.duration_ms = ms;
+        const auto res = perf::run_perf(cfg);
+
+        auto row = rwr::harness::json::Value::object();
+        row.set("lock", perf::to_string(c.lock));
+        row.set("n", c.readers);
+        row.set("m", c.writers);
+        row.set("f", cfg.resolved_f());
+        row.set("threads", c.readers + c.writers);
+        row.set("duration_ms", ms);
+        row.set("reader_ops", res.reader_ops);
+        row.set("writer_ops", res.writer_ops);
+        row.set("throughput_ops", res.throughput_ops());
+        row.set("latency_ns", bench::latency_to_json(res.telemetry));
+        row.set("telemetry", bench::telemetry_to_json(res.telemetry));
+        results.push_back(std::move(row));
+        std::cerr << "  " << perf::to_string(c.lock) << " n=" << c.readers
+                  << " m=" << c.writers << " f=" << cfg.resolved_f()
+                  << ": " << static_cast<std::uint64_t>(res.throughput_ops())
+                  << " ops/s\n";
+    }
+    bench::write_file(path, doc);
+    std::cerr << "wrote " << path << "\n";
+    return 0;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::uint32_t ms = 200;
+    std::vector<char*> passthrough{argv[0]};
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
+            ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        } else {
+            passthrough.push_back(argv[i]);
+        }
+    }
+    if (!json_path.empty()) {
+        try {
+            return run_json_mode(json_path, ms);
+        } catch (const std::exception& e) {
+            std::cerr << "bench_native_throughput --json failed: "
+                      << e.what() << "\n";
+            return 1;
+        }
+    }
+    int bench_argc = static_cast<int>(passthrough.size());
+    benchmark::Initialize(&bench_argc, passthrough.data());
+    if (benchmark::ReportUnrecognizedArguments(bench_argc,
+                                               passthrough.data())) {
+        return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

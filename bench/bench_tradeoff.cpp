@@ -6,11 +6,18 @@
 // readers Θ(log2(n/f)), writers Θ(f). The paper claims the tradeoff is
 // tight for every f; the fitted ratios (measured / predicted) must stay
 // flat as n grows.
+// --json <path>: additionally emits every sweep row as an "rwr-bench-v1"
+// document (sim_rmr group) -- the deterministic half of the perf
+// trajectory, diffable with bench_compare (RMR counts are exact, so any
+// delta is a real protocol change, not noise).
 #include <bit>
 #include <cstdint>
+#include <cstring>
 #include <iostream>
+#include <string>
 
 #include "core/af_params.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 
@@ -23,7 +30,28 @@ double log2_of(std::uint32_t x) {
     return x <= 1 ? 1.0 : static_cast<double>(std::bit_width(x - 1));
 }
 
-void run_protocol(Protocol proto) {
+void json_row(json::Value* results, Protocol proto,
+              const ExperimentConfig& cfg, const ExperimentResult& res) {
+    if (results == nullptr) {
+        return;
+    }
+    auto row = json::Value::object();
+    row.set("lock", "af");
+    row.set("protocol", to_string(proto));
+    row.set("n", cfg.n);
+    row.set("m", cfg.m);
+    row.set("f", cfg.f);
+    row.set("threads", cfg.n + cfg.m);
+    auto rmr = json::Value::object();
+    rmr.set("reader_mean_passage", res.readers.mean_passage_rmrs);
+    rmr.set("reader_max_passage", res.readers.max_passage_rmrs);
+    rmr.set("writer_mean_passage", res.writers.mean_passage_rmrs);
+    rmr.set("writer_max_passage", res.writers.max_passage_rmrs);
+    row.set("sim_rmr", std::move(rmr));
+    results->push_back(std::move(row));
+}
+
+void run_protocol(Protocol proto, json::Value* results) {
     std::cout << "\n=== E1: A_f passage RMRs, protocol = " << to_string(proto)
               << " ===\n"
               << "(reader prediction: log2(K); writer prediction: f; ratios "
@@ -51,6 +79,7 @@ void run_protocol(Protocol proto) {
                           << " f=" << f << "\n";
                 continue;
             }
+            json_row(results, proto, cfg, res);
             const std::uint32_t K = (n + f - 1) / f;
             const double rd_pred = log2_of(K);
             const double wr_pred = static_cast<double>(f);
@@ -68,11 +97,23 @@ void run_protocol(Protocol proto) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+    auto doc = bench::make_doc("tradeoff");
+    json::Value* results = nullptr;
+    if (!json_path.empty()) {
+        results = &doc.set("results", json::Value::array());
+    }
+
     std::cout << "bench_tradeoff: reproduces the paper's Theorem 18 "
                  "complexity claims for the A_f family\n";
-    run_protocol(Protocol::WriteThrough);
-    run_protocol(Protocol::WriteBack);
+    run_protocol(Protocol::WriteThrough, results);
+    run_protocol(Protocol::WriteBack, results);
 
     // Group-size rounding ablation (DESIGN.md §6): K = ceil(n/f) leaves
     // some groups partially filled when f does not divide n; show the
@@ -97,5 +138,16 @@ int main() {
         }
     }
     t.print();
+
+    if (results != nullptr) {
+        try {
+            bench::write_file(json_path, doc);
+            std::cerr << "wrote " << json_path << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << "bench_tradeoff --json failed: " << e.what()
+                      << "\n";
+            return 1;
+        }
+    }
     return 0;
 }

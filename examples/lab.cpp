@@ -15,8 +15,10 @@
 #include <string>
 
 #include "adversary/adversary.hpp"
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
+#include "native/perf.hpp"
 #include "sim/explorer.hpp"
 
 namespace {
@@ -239,6 +241,79 @@ int cmd_explore(const std::map<std::string, std::string>& f) {
     return res.ok() ? 0 : 1;
 }
 
+int cmd_metrics(const std::map<std::string, std::string>& f) try {
+    namespace perf = rwr::native::perf;
+    namespace bench = rwr::harness::bench;
+    namespace json = rwr::harness::json;
+
+    perf::PerfConfig cfg;
+    const auto lit = f.find("lock");
+    cfg.lock = perf::perf_lock_from(lit == f.end() ? "af" : lit->second);
+    cfg.readers = static_cast<std::uint32_t>(flag_u64(f, "n", 2));
+    cfg.writers = static_cast<std::uint32_t>(flag_u64(f, "m", 1));
+    cfg.f = static_cast<std::uint32_t>(flag_u64(f, "f", 0));
+    cfg.duration_ms = static_cast<std::uint32_t>(flag_u64(f, "ms", 200));
+
+    const auto res = perf::run_perf(cfg);
+    std::printf(
+        "lock=%s n=%u m=%u f=%u ms=%u  reader_ops=%llu writer_ops=%llu "
+        "throughput=%.0f ops/s  telemetry=%s\n",
+        perf::to_string(cfg.lock), cfg.readers, cfg.writers,
+        cfg.resolved_f(), cfg.duration_ms,
+        static_cast<unsigned long long>(res.reader_ops),
+        static_cast<unsigned long long>(res.writer_ops),
+        res.throughput_ops(),
+        rwr::native::telemetry_enabled() ? "on" : "off (RWR_TELEMETRY=0)");
+
+    Table c({"counter", "value"});
+    for (std::uint32_t i = 0; i < rwr::native::kTelemetryCounters; ++i) {
+        const auto ctr = static_cast<rwr::native::TelemetryCounter>(i);
+        c.row({rwr::native::to_string(ctr),
+               fmt(res.telemetry.counters[i])});
+    }
+    c.print();
+
+    Table l({"latency (sampled)", "samples", "p50 ns", "p90 ns", "p99 ns",
+             "max ns"});
+    for (std::uint32_t i = 0; i < rwr::native::kTelemetryHistos; ++i) {
+        const auto h = static_cast<rwr::native::TelemetryHisto>(i);
+        if (res.telemetry.samples(h) == 0) {
+            continue;
+        }
+        l.row({rwr::native::to_string(h), fmt(res.telemetry.samples(h)),
+               fmt(res.telemetry.quantile_ns(h, 0.50)),
+               fmt(res.telemetry.quantile_ns(h, 0.90)),
+               fmt(res.telemetry.quantile_ns(h, 0.99)),
+               fmt(res.telemetry.quantile_ns(h, 1.0))});
+    }
+    l.print();
+
+    const auto jit = f.find("json");
+    if (jit != f.end()) {
+        auto doc = bench::make_doc("metrics");
+        auto& results = doc.set("results", json::Value::array());
+        auto row = json::Value::object();
+        row.set("lock", perf::to_string(cfg.lock));
+        row.set("n", cfg.readers);
+        row.set("m", cfg.writers);
+        row.set("f", cfg.resolved_f());
+        row.set("threads", cfg.readers + cfg.writers);
+        row.set("duration_ms", cfg.duration_ms);
+        row.set("reader_ops", res.reader_ops);
+        row.set("writer_ops", res.writer_ops);
+        row.set("throughput_ops", res.throughput_ops());
+        row.set("latency_ns", bench::latency_to_json(res.telemetry));
+        row.set("telemetry", bench::telemetry_to_json(res.telemetry));
+        results.push_back(std::move(row));
+        bench::write_file(jit->second, doc);
+        std::printf("wrote %s\n", jit->second.c_str());
+    }
+    return 0;
+} catch (const std::exception& e) {
+    std::cerr << "metrics: " << e.what() << "\n";
+    return 2;
+}
+
 void usage() {
     std::puts(
         "usage: lab <command> [--flag value ...]\n"
@@ -251,6 +326,8 @@ void usage() {
         "  faults     crash/stall injection + livelock watchdog (--crash PID "
         "--section entry|critical|exit --step K [--stall-steps S] "
         "[--window W] [--wall-ms MS] [--replay 1])\n"
+        "  metrics    native throughput + live lock telemetry (--lock "
+        "af|centralized|faa|phase-fair --n --m --f --ms [--json PATH])\n"
         "  list       list available locks");
 }
 
@@ -274,6 +351,9 @@ int main(int argc, char** argv) {
     }
     if (cmd == "faults") {
         return cmd_faults(flags);
+    }
+    if (cmd == "metrics") {
+        return cmd_metrics(flags);
     }
     if (cmd == "list") {
         for (const auto kind : rwr::harness::all_lock_kinds()) {

@@ -1,0 +1,152 @@
+// The "rwr-bench-v1" JSON schema: one document per bench binary run, a
+// flat results array so bench_compare can join rows across runs.
+//
+//   {
+//     "schema":  "rwr-bench-v1",
+//     "bench":   "native_throughput" | "tradeoff" | "metrics",
+//     "results": [ { "lock", "n", "f", "threads",          <- required
+//                    "m"?, "protocol"?,
+//                    "throughput_ops"?,                    <- native rows
+//                    "latency_ns"?   { <histo>: {p50,p90,p99,max} },
+//                    "telemetry"?    { <counter>: u64 },
+//                    "sim_rmr"?      { reader_mean_passage, reader_max_passage,
+//                                      writer_mean_passage, writer_max_passage } } ]
+//   }
+//
+// A row must carry at least one payload group (throughput_ops or sim_rmr);
+// validate() enforces exactly this and is shared by the writers (so a
+// binary can never emit an invalid file) and by `bench_compare --check`.
+#pragma once
+
+#include <fstream>
+#include <iterator>
+#include <stdexcept>
+#include <string>
+
+#include "harness/json.hpp"
+#include "native/telemetry.hpp"
+
+namespace rwr::harness::bench {
+
+inline constexpr const char* kSchemaName = "rwr-bench-v1";
+
+inline json::Value make_doc(const std::string& bench_name) {
+    json::Value doc = json::Value::object();
+    doc.set("schema", kSchemaName);
+    doc.set("bench", bench_name);
+    doc.set("results", json::Value::array());
+    return doc;
+}
+
+inline json::Value telemetry_to_json(const native::TelemetrySnapshot& snap) {
+    json::Value obj = json::Value::object();
+    for (std::uint32_t c = 0; c < native::kTelemetryCounters; ++c) {
+        obj.set(native::to_string(static_cast<native::TelemetryCounter>(c)),
+                snap.counters[c]);
+    }
+    return obj;
+}
+
+inline json::Value latency_to_json(const native::TelemetrySnapshot& snap) {
+    json::Value obj = json::Value::object();
+    for (std::uint32_t h = 0; h < native::kTelemetryHistos; ++h) {
+        const auto histo = static_cast<native::TelemetryHisto>(h);
+        if (snap.samples(histo) == 0) {
+            continue;  // Quantiles of nothing are noise, not zeros.
+        }
+        json::Value q = json::Value::object();
+        q.set("samples", snap.samples(histo));
+        q.set("p50", snap.quantile_ns(histo, 0.50));
+        q.set("p90", snap.quantile_ns(histo, 0.90));
+        q.set("p99", snap.quantile_ns(histo, 0.99));
+        q.set("max", snap.quantile_ns(histo, 1.0));
+        obj.set(native::to_string(histo), std::move(q));
+    }
+    return obj;
+}
+
+/// Throws std::runtime_error describing the first schema violation.
+inline void validate(const json::Value& doc) {
+    const auto* schema = doc.find("schema");
+    if (schema == nullptr ||
+        schema->type() != json::Value::Type::String ||
+        schema->as_string() != kSchemaName) {
+        throw std::runtime_error("schema: missing or wrong \"schema\" tag");
+    }
+    const auto* bench = doc.find("bench");
+    if (bench == nullptr || bench->type() != json::Value::Type::String) {
+        throw std::runtime_error("schema: missing \"bench\" name");
+    }
+    const auto* results = doc.find("results");
+    if (results == nullptr ||
+        results->type() != json::Value::Type::Array) {
+        throw std::runtime_error("schema: missing \"results\" array");
+    }
+    std::size_t i = 0;
+    for (const auto& row : results->items()) {
+        const std::string at = "schema: results[" + std::to_string(i) + "] ";
+        ++i;
+        if (row.type() != json::Value::Type::Object) {
+            throw std::runtime_error(at + "is not an object");
+        }
+        const auto* lock = row.find("lock");
+        if (lock == nullptr || lock->type() != json::Value::Type::String) {
+            throw std::runtime_error(at + "lacks string \"lock\"");
+        }
+        for (const char* key : {"n", "f", "threads"}) {
+            const auto* v = row.find(key);
+            if (v == nullptr || !v->is_number()) {
+                throw std::runtime_error(at + "lacks numeric \"" + key +
+                                         "\"");
+            }
+        }
+        const auto* tput = row.find("throughput_ops");
+        const auto* rmr = row.find("sim_rmr");
+        if (tput == nullptr && rmr == nullptr) {
+            throw std::runtime_error(
+                at + "carries neither throughput_ops nor sim_rmr");
+        }
+        if (tput != nullptr && !tput->is_number()) {
+            throw std::runtime_error(at + "throughput_ops not numeric");
+        }
+        if (rmr != nullptr) {
+            if (rmr->type() != json::Value::Type::Object) {
+                throw std::runtime_error(at + "sim_rmr not an object");
+            }
+            for (const char* key :
+                 {"reader_mean_passage", "writer_mean_passage"}) {
+                const auto* v = rmr->find(key);
+                if (v == nullptr || !v->is_number()) {
+                    throw std::runtime_error(at + "sim_rmr lacks \"" +
+                                             key + "\"");
+                }
+            }
+        }
+    }
+}
+
+/// Validates, then writes atomically enough for our purposes (truncate +
+/// full rewrite; benches run single-threaded).
+inline void write_file(const std::string& path, const json::Value& doc) {
+    validate(doc);
+    std::ofstream os(path);
+    if (!os) {
+        throw std::runtime_error("cannot open '" + path + "' for writing");
+    }
+    os << doc.dump();
+    if (!os) {
+        throw std::runtime_error("short write to '" + path + "'");
+    }
+}
+
+inline json::Value read_file(const std::string& path) {
+    std::ifstream is(path);
+    if (!is) {
+        throw std::runtime_error("cannot open '" + path + "'");
+    }
+    std::string text((std::istreambuf_iterator<char>(is)),
+                     std::istreambuf_iterator<char>());
+    return json::Value::parse(text);
+}
+
+}  // namespace rwr::harness::bench

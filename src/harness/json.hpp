@@ -1,0 +1,416 @@
+// Minimal JSON value tree with a serializer and a strict parser -- the
+// machine-readable half of the perf pipeline (the human half is
+// harness/table.hpp). Every bench binary writes its results through this
+// (BENCH_*.json, schema "rwr-bench-v1"); bench_compare reads two such
+// files back and diffs them. Deliberately tiny: objects preserve insertion
+// order, numbers are int64/uint64/double (counters stay exact), no
+// comments, UTF-8 passthrough with control-character escaping only.
+#pragma once
+
+#include <cctype>
+#include <cstdint>
+#include <cstdio>
+#include <initializer_list>
+#include <memory>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace rwr::harness::json {
+
+class Value;
+using Member = std::pair<std::string, Value>;
+
+class Value {
+   public:
+    enum class Type { Null, Bool, Int, Uint, Double, String, Array, Object };
+
+    Value() : type_(Type::Null) {}
+    Value(std::nullptr_t) : type_(Type::Null) {}
+    Value(bool b) : type_(Type::Bool), bool_(b) {}
+    Value(int v) : type_(Type::Int), int_(v) {}
+    Value(std::int64_t v) : type_(Type::Int), int_(v) {}
+    Value(std::uint32_t v) : type_(Type::Uint), uint_(v) {}
+    Value(std::uint64_t v) : type_(Type::Uint), uint_(v) {}
+    Value(double v) : type_(Type::Double), double_(v) {}
+    Value(const char* s) : type_(Type::String), str_(s) {}
+    Value(std::string s) : type_(Type::String), str_(std::move(s)) {}
+
+    [[nodiscard]] Type type() const { return type_; }
+    [[nodiscard]] bool is_number() const {
+        return type_ == Type::Int || type_ == Type::Uint ||
+               type_ == Type::Double;
+    }
+
+    static Value array() {
+        Value v;
+        v.type_ = Type::Array;
+        return v;
+    }
+    static Value object() {
+        Value v;
+        v.type_ = Type::Object;
+        return v;
+    }
+
+    Value& push_back(Value v) {
+        require(Type::Array, "push_back");
+        arr_.push_back(std::move(v));
+        return arr_.back();
+    }
+
+    Value& set(const std::string& key, Value v) {
+        require(Type::Object, "set");
+        for (auto& [k, existing] : members_) {
+            if (k == key) {
+                existing = std::move(v);
+                return existing;
+            }
+        }
+        members_.emplace_back(key, std::move(v));
+        return members_.back().second;
+    }
+
+    [[nodiscard]] const Value* find(const std::string& key) const {
+        if (type_ != Type::Object) {
+            return nullptr;
+        }
+        for (const auto& [k, v] : members_) {
+            if (k == key) {
+                return &v;
+            }
+        }
+        return nullptr;
+    }
+
+    [[nodiscard]] const std::vector<Value>& items() const {
+        require(Type::Array, "items");
+        return arr_;
+    }
+    [[nodiscard]] const std::vector<Member>& members() const {
+        require(Type::Object, "members");
+        return members_;
+    }
+    [[nodiscard]] const std::string& as_string() const {
+        require(Type::String, "as_string");
+        return str_;
+    }
+    [[nodiscard]] bool as_bool() const {
+        require(Type::Bool, "as_bool");
+        return bool_;
+    }
+    [[nodiscard]] double as_double() const {
+        switch (type_) {
+            case Type::Int: return static_cast<double>(int_);
+            case Type::Uint: return static_cast<double>(uint_);
+            case Type::Double: return double_;
+            default: throw std::runtime_error("json: not a number");
+        }
+    }
+    [[nodiscard]] std::uint64_t as_uint() const {
+        switch (type_) {
+            case Type::Uint: return uint_;
+            case Type::Int:
+                if (int_ < 0) {
+                    throw std::runtime_error("json: negative as_uint");
+                }
+                return static_cast<std::uint64_t>(int_);
+            case Type::Double:
+                if (double_ < 0) {
+                    throw std::runtime_error("json: negative as_uint");
+                }
+                return static_cast<std::uint64_t>(double_);
+            default: throw std::runtime_error("json: not a number");
+        }
+    }
+
+    /// Serializes with 2-space indentation (stable, diff-friendly output
+    /// for checked-in BENCH_*.json baselines).
+    void dump(std::ostream& os, int indent = 0) const {
+        const std::string pad(static_cast<std::size_t>(indent) * 2, ' ');
+        const std::string pad1(static_cast<std::size_t>(indent + 1) * 2, ' ');
+        switch (type_) {
+            case Type::Null: os << "null"; break;
+            case Type::Bool: os << (bool_ ? "true" : "false"); break;
+            case Type::Int: os << int_; break;
+            case Type::Uint: os << uint_; break;
+            case Type::Double: {
+                std::ostringstream tmp;
+                tmp.precision(12);
+                tmp << double_;
+                const std::string s = tmp.str();
+                os << s;
+                // A double must parse back as a double.
+                if (s.find_first_of(".eE") == std::string::npos) {
+                    os << ".0";
+                }
+                break;
+            }
+            case Type::String: dump_string(os, str_); break;
+            case Type::Array:
+                if (arr_.empty()) {
+                    os << "[]";
+                    break;
+                }
+                os << "[\n";
+                for (std::size_t i = 0; i < arr_.size(); ++i) {
+                    os << pad1;
+                    arr_[i].dump(os, indent + 1);
+                    os << (i + 1 < arr_.size() ? ",\n" : "\n");
+                }
+                os << pad << ']';
+                break;
+            case Type::Object:
+                if (members_.empty()) {
+                    os << "{}";
+                    break;
+                }
+                os << "{\n";
+                for (std::size_t i = 0; i < members_.size(); ++i) {
+                    os << pad1;
+                    dump_string(os, members_[i].first);
+                    os << ": ";
+                    members_[i].second.dump(os, indent + 1);
+                    os << (i + 1 < members_.size() ? ",\n" : "\n");
+                }
+                os << pad << '}';
+                break;
+        }
+    }
+
+    [[nodiscard]] std::string dump() const {
+        std::ostringstream os;
+        dump(os);
+        os << '\n';
+        return os.str();
+    }
+
+    /// Strict parser for the subset dump() emits (which is all of JSON
+    /// minus \u escapes beyond ASCII). Throws std::runtime_error with a
+    /// byte offset on malformed input.
+    static Value parse(const std::string& text) {
+        Parser p{text, 0};
+        const Value v = p.parse_value();
+        p.skip_ws();
+        if (p.pos != text.size()) {
+            p.fail("trailing garbage");
+        }
+        return v;
+    }
+
+   private:
+    void require(Type t, const char* op) const {
+        if (type_ != t) {
+            throw std::runtime_error(std::string("json: ") + op +
+                                     " on wrong type");
+        }
+    }
+
+    static void dump_string(std::ostream& os, const std::string& s) {
+        os << '"';
+        for (const char c : s) {
+            switch (c) {
+                case '"': os << "\\\""; break;
+                case '\\': os << "\\\\"; break;
+                case '\n': os << "\\n"; break;
+                case '\t': os << "\\t"; break;
+                case '\r': os << "\\r"; break;
+                default:
+                    if (static_cast<unsigned char>(c) < 0x20) {
+                        char buf[8];
+                        std::snprintf(buf, sizeof buf, "\\u%04x", c);
+                        os << buf;
+                    } else {
+                        os << c;
+                    }
+            }
+        }
+        os << '"';
+    }
+
+    struct Parser {
+        const std::string& text;
+        std::size_t pos;
+
+        [[noreturn]] void fail(const std::string& why) const {
+            throw std::runtime_error("json parse error at byte " +
+                                     std::to_string(pos) + ": " + why);
+        }
+        void skip_ws() {
+            while (pos < text.size() &&
+                   (text[pos] == ' ' || text[pos] == '\n' ||
+                    text[pos] == '\t' || text[pos] == '\r')) {
+                ++pos;
+            }
+        }
+        char peek() {
+            if (pos >= text.size()) {
+                fail("unexpected end");
+            }
+            return text[pos];
+        }
+        void expect(char c) {
+            if (peek() != c) {
+                fail(std::string("expected '") + c + "'");
+            }
+            ++pos;
+        }
+        bool consume_literal(const char* lit) {
+            const std::size_t len = std::string(lit).size();
+            if (text.compare(pos, len, lit) == 0) {
+                pos += len;
+                return true;
+            }
+            return false;
+        }
+
+        Value parse_value() {
+            skip_ws();
+            const char c = peek();
+            if (c == '{') return parse_object();
+            if (c == '[') return parse_array();
+            if (c == '"') return Value(parse_string());
+            if (consume_literal("null")) return Value(nullptr);
+            if (consume_literal("true")) return Value(true);
+            if (consume_literal("false")) return Value(false);
+            return parse_number();
+        }
+
+        Value parse_object() {
+            expect('{');
+            Value obj = Value::object();
+            skip_ws();
+            if (peek() == '}') {
+                ++pos;
+                return obj;
+            }
+            for (;;) {
+                skip_ws();
+                std::string key = parse_string();
+                skip_ws();
+                expect(':');
+                obj.set(key, parse_value());
+                skip_ws();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect('}');
+                return obj;
+            }
+        }
+
+        Value parse_array() {
+            expect('[');
+            Value arr = Value::array();
+            skip_ws();
+            if (peek() == ']') {
+                ++pos;
+                return arr;
+            }
+            for (;;) {
+                arr.push_back(parse_value());
+                skip_ws();
+                if (peek() == ',') {
+                    ++pos;
+                    continue;
+                }
+                expect(']');
+                return arr;
+            }
+        }
+
+        std::string parse_string() {
+            expect('"');
+            std::string out;
+            for (;;) {
+                if (pos >= text.size()) {
+                    fail("unterminated string");
+                }
+                const char c = text[pos++];
+                if (c == '"') {
+                    return out;
+                }
+                if (c != '\\') {
+                    out.push_back(c);
+                    continue;
+                }
+                if (pos >= text.size()) {
+                    fail("dangling escape");
+                }
+                const char e = text[pos++];
+                switch (e) {
+                    case '"': out.push_back('"'); break;
+                    case '\\': out.push_back('\\'); break;
+                    case '/': out.push_back('/'); break;
+                    case 'n': out.push_back('\n'); break;
+                    case 't': out.push_back('\t'); break;
+                    case 'r': out.push_back('\r'); break;
+                    case 'u': {
+                        if (pos + 4 > text.size()) {
+                            fail("short \\u escape");
+                        }
+                        const unsigned long cp =
+                            std::stoul(text.substr(pos, 4), nullptr, 16);
+                        pos += 4;
+                        if (cp > 0x7f) {
+                            fail("non-ASCII \\u escape unsupported");
+                        }
+                        out.push_back(static_cast<char>(cp));
+                        break;
+                    }
+                    default: fail("bad escape");
+                }
+            }
+        }
+
+        Value parse_number() {
+            const std::size_t start = pos;
+            bool is_double = false;
+            if (pos < text.size() && text[pos] == '-') {
+                ++pos;
+            }
+            while (pos < text.size() &&
+                   (std::isdigit(static_cast<unsigned char>(text[pos])) ||
+                    text[pos] == '.' || text[pos] == 'e' ||
+                    text[pos] == 'E' || text[pos] == '+' ||
+                    text[pos] == '-')) {
+                if (text[pos] == '.' || text[pos] == 'e' ||
+                    text[pos] == 'E') {
+                    is_double = true;
+                }
+                ++pos;
+            }
+            const std::string tok = text.substr(start, pos - start);
+            if (tok.empty() || tok == "-") {
+                fail("bad number");
+            }
+            try {
+                if (is_double) {
+                    return Value(std::stod(tok));
+                }
+                if (tok[0] == '-') {
+                    return Value(
+                        static_cast<std::int64_t>(std::stoll(tok)));
+                }
+                return Value(static_cast<std::uint64_t>(std::stoull(tok)));
+            } catch (const std::exception&) {
+                fail("unparseable number '" + tok + "'");
+            }
+        }
+    };
+
+    Type type_;
+    bool bool_ = false;
+    std::int64_t int_ = 0;
+    std::uint64_t uint_ = 0;
+    double double_ = 0;
+    std::string str_;
+    std::vector<Value> arr_;
+    std::vector<Member> members_;
+};
+
+}  // namespace rwr::harness::json

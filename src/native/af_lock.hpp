@@ -38,6 +38,7 @@
 #include "native/counter.hpp"
 #include "native/mutex.hpp"
 #include "native/spin.hpp"
+#include "native/telemetry.hpp"
 
 #ifndef RWR_AF_MISUSE_CHECKS
 #define RWR_AF_MISUSE_CHECKS 1
@@ -59,9 +60,18 @@ class AfLock {
         wsig_ = std::make_unique<Signal[]>(groups);
         groups_ = groups;
 #if RWR_AF_MISUSE_CHECKS
-        reader_busy_ = std::make_unique<std::atomic<std::uint8_t>[]>(n_);
-        writer_busy_ = std::make_unique<std::atomic<std::uint8_t>[]>(m_);
+        reader_busy_ = std::make_unique<PaddedFlag[]>(n_);
+        writer_busy_ = std::make_unique<PaddedFlag[]>(m_);
 #endif
+    }
+
+    /// Attach a telemetry sink (nullptr detaches). Not thread-safe against
+    /// concurrent passages; attach before starting the workload. Propagates
+    /// to the embedded WL so writer-lock contention shows up under the
+    /// mutex_* counters. Compiled to a no-op when RWR_TELEMETRY=0.
+    void attach_telemetry(LockTelemetry* t) {
+        RWR_TELEM(telemetry_ = t; wl_.attach_telemetry(t);)
+        (void)t;
     }
 
     void lock_shared(std::uint32_t reader_id) {
@@ -84,12 +94,17 @@ class AfLock {
     bool lock_shared_until(std::uint32_t reader_id, Deadline deadline) {
         check_reader(reader_id);
         reader_acquire_guard(reader_id);
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderEntry);)
         const std::uint32_t g = reader_id / k_;
         const std::uint32_t slot = reader_id % k_;
 
         c_[g]->add(slot, +1);                       // Line 31.
         const std::uint64_t sig = rsig_.load();     // Line 32.
         if (rs_op(sig) != kRsWait) {                // Line 33.
+            RWR_TELEM(if (telemetry_) {
+                telemetry_->count(TelemetryCounter::kReaderAcquire);
+                sw.stop();
+            })
             return true;
         }
         const std::uint64_t seq = sig_seq(sig);
@@ -106,7 +121,15 @@ class AfLock {
                 backoff.pause();
             }
             w_[g]->add(slot, -1);                   // Line 37.
+            RWR_TELEM(if (telemetry_) {
+                telemetry_->count(TelemetryCounter::kReaderContended);
+                telemetry_->note_backoff(backoff);
+            })
             if (acquired) {
+                RWR_TELEM(if (telemetry_) {
+                    telemetry_->count(TelemetryCounter::kReaderAcquire);
+                    sw.stop();
+                })
                 return true;
             }
         }
@@ -116,13 +139,18 @@ class AfLock {
         // its PROCEED/CS signal from us or from a remaining reader.
         shared_exit_section(g, slot);
         reader_release_guard(reader_id);
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kReaderAbort);
+        })
         return false;
     }
 
     void unlock_shared(std::uint32_t reader_id) {
         check_reader(reader_id);
         reader_release_guard(reader_id);
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderExit);)
         shared_exit_section(reader_id / k_, reader_id % k_);
+        RWR_TELEM(sw.stop();)
     }
 
     void lock(std::uint32_t writer_id) {
@@ -146,8 +174,12 @@ class AfLock {
     bool lock_until(std::uint32_t writer_id, Deadline deadline) {
         check_writer(writer_id);
         writer_acquire_guard(writer_id);
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterEntry); bool contended = false;)
         if (!wl_.lock_until(writer_id, deadline)) {  // Line 6.
             writer_release_guard(writer_id);
+            RWR_TELEM(if (telemetry_) {
+                telemetry_->count(TelemetryCounter::kWriterAbort);
+            })
             return false;
         }
         const std::uint64_t seq = wseq_.load();  // Stable: we hold WL.
@@ -161,13 +193,19 @@ class AfLock {
         for (std::uint32_t i = 0; i < groups_; ++i) {  // Lines 12-17.
             if (c_[i]->read() > 0) {                   // Line 13.
                 Backoff backoff;
+                RWR_TELEM(contended = true;)
                 while (wsig_[i].word.load() != pack(seq, kWsProceed)) {
                     if (deadline.poll()) {
+                        RWR_TELEM(if (telemetry_) {
+                            telemetry_->note_backoff(backoff);
+                            telemetry_->count(TelemetryCounter::kWriterAbort);
+                        })
                         abort_writer_entry(writer_id, seq);
                         return false;
                     }
                     backoff.pause();  // Line 14.
                 }
+                RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
             }
             wsig_[i].word.store(pack(seq, kWsWait));  // Line 16.
         }
@@ -177,24 +215,39 @@ class AfLock {
         for (std::uint32_t i = 0; i < groups_; ++i) {  // Lines 19-23.
             if (c_[i]->read() != 0) {                  // Line 20.
                 Backoff backoff;
+                RWR_TELEM(contended = true;)
                 while (wsig_[i].word.load() != pack(seq, kWsCs)) {
                     if (deadline.poll()) {
+                        RWR_TELEM(if (telemetry_) {
+                            telemetry_->note_backoff(backoff);
+                            telemetry_->count(TelemetryCounter::kWriterAbort);
+                        })
                         abort_writer_entry(writer_id, seq);
                         return false;
                     }
                     backoff.pause();  // Line 21.
                 }
+                RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
             }
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kWriterAcquire);
+            if (contended) {
+                telemetry_->count(TelemetryCounter::kWriterContended);
+            }
+            sw.stop();
+        })
         return true;
     }
 
     void unlock(std::uint32_t writer_id) {
         check_writer(writer_id);
         check_wl_held(writer_id);
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterExit);)
         const std::uint64_t seq = wseq_.load();
         writer_exit_section(writer_id, seq);
         writer_release_guard(writer_id);
+        RWR_TELEM(sw.stop();)
     }
 
     [[nodiscard]] std::uint32_t num_readers() const { return n_; }
@@ -206,6 +259,18 @@ class AfLock {
     struct alignas(64) Signal {
         std::atomic<std::uint64_t> word{0};  // pack(0, kWsBot).
     };
+    static_assert(sizeof(Signal) == 64 && alignof(Signal) == 64,
+                  "one WSIG per cache line: adjacent groups' signals are "
+                  "written by the writer and CASed by different readers");
+
+    /// One-byte guard flag padded to a full line: the busy flags are
+    /// exchanged on every acquire/release by different threads, so packing
+    /// 64 of them per line would bounce that line across every core.
+    struct alignas(64) PaddedFlag {
+        std::atomic<std::uint8_t> v{0};
+    };
+    static_assert(sizeof(PaddedFlag) == 64 && alignof(PaddedFlag) == 64,
+                  "misuse-check guards must not share cache lines");
 
     // Opcode encodings (see core/signals.hpp for the simulated twin).
     static constexpr std::uint64_t kRsNop = 0, kRsPreEntry = 1, kRsWait = 2;
@@ -283,28 +348,28 @@ class AfLock {
     // ---- Misuse detection (compiled out with RWR_AF_MISUSE_CHECKS=0) ----
 #if RWR_AF_MISUSE_CHECKS
     void reader_acquire_guard(std::uint32_t id) {
-        if (reader_busy_[id].exchange(1) != 0) {
+        if (reader_busy_[id].v.exchange(1) != 0) {
             throw std::logic_error(
                 "AfLock: reader id already in an acquisition or passage "
                 "(concurrent id reuse or recursive lock_shared)");
         }
     }
     void reader_release_guard(std::uint32_t id) {
-        if (reader_busy_[id].exchange(0) == 0) {
+        if (reader_busy_[id].v.exchange(0) == 0) {
             throw std::logic_error(
                 "AfLock: unlock_shared without matching lock_shared "
                 "(double release would drive C[i] negative)");
         }
     }
     void writer_acquire_guard(std::uint32_t id) {
-        if (writer_busy_[id].exchange(1) != 0) {
+        if (writer_busy_[id].v.exchange(1) != 0) {
             throw std::logic_error(
                 "AfLock: writer id already in an acquisition or passage "
                 "(concurrent id reuse or recursive lock)");
         }
     }
     void writer_release_guard(std::uint32_t id) {
-        if (writer_busy_[id].exchange(0) == 0) {
+        if (writer_busy_[id].v.exchange(0) == 0) {
             throw std::logic_error(
                 "AfLock: unlock without matching lock");
         }
@@ -328,16 +393,21 @@ class AfLock {
 #endif
 
     std::uint32_t n_, m_, f_, k_, groups_ = 0;
+    // c_/w_ hold cold unique_ptrs; the FArrayCounter nodes themselves are
+    // heap-allocated with one alignas(64) node per line (counter.hpp).
     std::vector<std::unique_ptr<FArrayCounter>> c_;
     std::vector<std::unique_ptr<FArrayCounter>> w_;
     TournamentMutex wl_;
     std::unique_ptr<Signal[]> wsig_;
     alignas(64) std::atomic<std::uint64_t> wseq_{0};
     alignas(64) std::atomic<std::uint64_t> rsig_{0};  // pack(0, kRsNop).
+#if RWR_TELEMETRY
+    LockTelemetry* telemetry_ = nullptr;
+#endif
 #if RWR_AF_MISUSE_CHECKS
     static constexpr std::uint32_t kNoHolder = 0xffffffffu;
-    std::unique_ptr<std::atomic<std::uint8_t>[]> reader_busy_;
-    std::unique_ptr<std::atomic<std::uint8_t>[]> writer_busy_;
+    std::unique_ptr<PaddedFlag[]> reader_busy_;
+    std::unique_ptr<PaddedFlag[]> writer_busy_;
     alignas(64) mutable std::atomic<std::uint32_t> wl_holder_{kNoHolder};
 #endif
 };

@@ -2,6 +2,10 @@
 // the one-word CAS lock and the FAA writer-preference lock. (For the
 // mutex-as-RW-lock baseline just use TournamentMutex or std::mutex; for an
 // industrial-strength comparison point the benches use std::shared_mutex.)
+//
+// All baselines accept a LockTelemetry sink (attach_telemetry) reporting
+// the same counters/histograms as AfLock, so the perf pipeline can compare
+// locks on identical axes; compiled out with RWR_TELEMETRY=0.
 #pragma once
 
 #include <atomic>
@@ -10,6 +14,7 @@
 
 #include "native/mutex.hpp"
 #include "native/spin.hpp"
+#include "native/telemetry.hpp"
 
 namespace rwr::native {
 
@@ -18,42 +23,84 @@ class CentralizedRWLock {
    public:
     static constexpr std::uint64_t kWriterBit = std::uint64_t{1} << 40;
 
+    void attach_telemetry(LockTelemetry* t) {
+        RWR_TELEM(telemetry_ = t;)
+        (void)t;
+    }
+
     void lock_shared(std::uint32_t /*reader_id*/ = 0) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderEntry); bool contended = false;)
         Backoff backoff;
         for (;;) {
             std::uint64_t cur = state_.load();
             if ((cur & kWriterBit) == 0) {
                 if (state_.compare_exchange_strong(cur, cur + 1)) {
-                    return;
+                    break;
                 }
+                // The word is reader-open (any blocking writer handed
+                // off); we merely lost the CAS to a sibling. Restart
+                // escalation -- carrying a slept-once stage into this
+                // fresh race turns a lost CAS into a 1ms nap.
+                backoff.reset();
             }
+            RWR_TELEM(contended = true;)
             backoff.pause();
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kReaderAcquire);
+            if (contended) {
+                telemetry_->count(TelemetryCounter::kReaderContended);
+            }
+            telemetry_->note_backoff(backoff);
+            sw.stop();
+        })
     }
 
     void unlock_shared(std::uint32_t /*reader_id*/ = 0) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderExit);)
         state_.fetch_sub(1);  // Note: native CPUs give us FAA for free; the
                               // simulated twin uses a CAS loop to stay
                               // within the paper's primitive set.
+        RWR_TELEM(sw.stop();)
     }
 
     void lock(std::uint32_t /*writer_id*/ = 0) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterEntry); bool contended = false;)
         Backoff backoff;
         for (;;) {
-            std::uint64_t expected = 0;
-            if (state_.compare_exchange_strong(expected, kWriterBit)) {
-                return;
+            if (state_.load() == 0) {
+                std::uint64_t expected = 0;
+                if (state_.compare_exchange_strong(expected, kWriterBit)) {
+                    break;
+                }
+                // Observed the hand-off (word was free), lost the race:
+                // the wait for the new holder is a new wait.
+                backoff.reset();
             }
+            RWR_TELEM(contended = true;)
             backoff.pause();
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kWriterAcquire);
+            if (contended) {
+                telemetry_->count(TelemetryCounter::kWriterContended);
+            }
+            telemetry_->note_backoff(backoff);
+            sw.stop();
+        })
     }
 
     void unlock(std::uint32_t /*writer_id*/ = 0) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterExit);)
         state_.fetch_and(~kWriterBit);
+        RWR_TELEM(sw.stop();)
     }
 
    private:
     alignas(64) std::atomic<std::uint64_t> state_{0};
+#if RWR_TELEMETRY
+    LockTelemetry* telemetry_ = nullptr;
+#endif
 };
 
 /// Centralized FAA lock, writer preference (constant-RMR hot paths, in the
@@ -65,48 +112,78 @@ class FaaRWLock {
     static constexpr std::uint64_t kWriterBit = std::uint64_t{1} << 40;
     static constexpr std::uint64_t kCountMask = 0xffffffffu;
 
+    void attach_telemetry(LockTelemetry* t) {
+        RWR_TELEM(telemetry_ = t; wl_.attach_telemetry(t);)
+        (void)t;
+    }
+
     void lock_shared(std::uint32_t /*reader_id*/ = 0) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderEntry); bool contended = false;)
         for (;;) {
             const std::uint64_t prior = state_.fetch_add(1);
             if ((prior & kWriterBit) == 0) {
-                return;
+                break;
             }
             const std::uint64_t backout =
                 state_.fetch_sub(1);  // Signal like an exit would.
             if ((backout & kWriterBit) != 0 && (backout & kCountMask) == 1) {
                 wgate_.store(1);
             }
-            Backoff backoff;
+            RWR_TELEM(contended = true;)
+            Backoff backoff;  // Fresh per retry: each rgate wait is one
+                              // hand-off (Backoff lifecycle contract).
             while (rgate_.load() != 1) {
                 backoff.pause();
             }
+            RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kReaderAcquire);
+            if (contended) {
+                telemetry_->count(TelemetryCounter::kReaderContended);
+            }
+            sw.stop();
+        })
     }
 
     void unlock_shared(std::uint32_t /*reader_id*/ = 0) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderExit);)
         const std::uint64_t prior = state_.fetch_sub(1);
         if ((prior & kWriterBit) != 0 && (prior & kCountMask) == 1) {
             wgate_.store(1);
         }
+        RWR_TELEM(sw.stop();)
     }
 
     void lock(std::uint32_t writer_id) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterEntry); bool contended = false;)
         wl_.lock(writer_id);
         rgate_.store(0);
         wgate_.store(0);
         const std::uint64_t prior = state_.fetch_add(kWriterBit);
         if ((prior & kCountMask) != 0) {
+            RWR_TELEM(contended = true;)
             Backoff backoff;
             while (wgate_.load() != 1) {
                 backoff.pause();
             }
+            RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kWriterAcquire);
+            if (contended) {
+                telemetry_->count(TelemetryCounter::kWriterContended);
+            }
+            sw.stop();
+        })
     }
 
     void unlock(std::uint32_t writer_id) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterExit);)
         state_.fetch_sub(kWriterBit);
         rgate_.store(1);
         wl_.unlock(writer_id);
+        RWR_TELEM(sw.stop();)
     }
 
    private:
@@ -114,6 +191,9 @@ class FaaRWLock {
     alignas(64) std::atomic<std::uint64_t> state_{0};
     alignas(64) std::atomic<std::uint64_t> rgate_{1};
     alignas(64) std::atomic<std::uint64_t> wgate_{0};
+#if RWR_TELEMETRY
+    LockTelemetry* telemetry_ = nullptr;
+#endif
 };
 
 /// Phase-fair reader-writer lock (Brandenburg-Anderson PF-T): reader and
@@ -131,38 +211,69 @@ class PhaseFairRWLock {
     explicit PhaseFairRWLock(std::uint32_t max_writers)
         : writer_wbits_(max_writers, 0) {}
 
+    void attach_telemetry(LockTelemetry* t) {
+        RWR_TELEM(telemetry_ = t;)
+        (void)t;
+    }
+
     void lock_shared(std::uint32_t /*reader_id*/ = 0) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderEntry); bool contended = false;)
         const std::uint64_t w = rin_.fetch_add(kRinc) & kWBits;
         if (w != 0) {
+            RWR_TELEM(contended = true;)
             Backoff backoff;
             while ((rin_.load() & kWBits) == w) {
                 backoff.pause();
             }
+            RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kReaderAcquire);
+            if (contended) {
+                telemetry_->count(TelemetryCounter::kReaderContended);
+            }
+            sw.stop();
+        })
     }
 
     void unlock_shared(std::uint32_t /*reader_id*/ = 0) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderExit);)
         rout_.fetch_add(kRinc);
+        RWR_TELEM(sw.stop();)
     }
 
     void lock(std::uint32_t writer_id) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterEntry); bool contended = false;)
         const std::uint64_t ticket = win_.fetch_add(1);
         Backoff backoff;
         while (wout_.load() != ticket) {
+            RWR_TELEM(contended = true;)
             backoff.pause();
         }
+        RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
         const std::uint64_t w = kPres | ((ticket & 1) << 1);
         writer_wbits_.at(writer_id) = w;
         const std::uint64_t rticket = rin_.fetch_add(w) & ~kWBits;
-        backoff.reset();
+        backoff.reset();  // Second gate of the same passage: new wait.
         while (rout_.load() != rticket) {
+            RWR_TELEM(contended = true;)
             backoff.pause();
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->note_backoff(backoff);
+            telemetry_->count(TelemetryCounter::kWriterAcquire);
+            if (contended) {
+                telemetry_->count(TelemetryCounter::kWriterContended);
+            }
+            sw.stop();
+        })
     }
 
     void unlock(std::uint32_t writer_id) {
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterExit);)
         rin_.fetch_sub(writer_wbits_.at(writer_id));
         wout_.fetch_add(1);
+        RWR_TELEM(sw.stop();)
     }
 
    private:
@@ -171,6 +282,9 @@ class PhaseFairRWLock {
     alignas(64) std::atomic<std::uint64_t> win_{0};
     alignas(64) std::atomic<std::uint64_t> wout_{0};
     std::vector<std::uint64_t> writer_wbits_;
+#if RWR_TELEMETRY
+    LockTelemetry* telemetry_ = nullptr;
+#endif
 };
 
 }  // namespace rwr::native

@@ -69,6 +69,10 @@ class FArrayCounter {
     struct alignas(64) Node {
         std::atomic<std::uint64_t> word;
     };
+    static_assert(sizeof(Node) == 64 && alignof(Node) == 64,
+                  "one tree node per cache line: leaves are single-writer "
+                  "hot words and internal nodes are CASed by all slots; "
+                  "packing them would false-share every add()");
 
     static constexpr std::uint64_t pack(std::uint32_t version,
                                         std::int32_t value) {

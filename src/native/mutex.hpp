@@ -14,6 +14,7 @@
 #include <stdexcept>
 
 #include "native/spin.hpp"
+#include "native/telemetry.hpp"
 
 namespace rwr::native {
 
@@ -27,6 +28,14 @@ class TournamentMutex {
         if (m == 0) {
             throw std::invalid_argument("TournamentMutex: m must be >= 1");
         }
+    }
+
+    /// Attach a telemetry sink (nullptr detaches); reports under the
+    /// mutex_* counters. Attach before starting the workload. Compiled to
+    /// a no-op when RWR_TELEMETRY=0.
+    void attach_telemetry(LockTelemetry* t) {
+        RWR_TELEM(telemetry_ = t;)
+        (void)t;
     }
 
     void lock(std::uint32_t slot) { lock_until(slot, Deadline::infinite()); }
@@ -54,21 +63,32 @@ class TournamentMutex {
         std::uint32_t won[32];  // Node indices won so far, bottom-up.
         std::uint32_t depth = 0;
         std::uint32_t pos = (num_leaves_ - 1) + slot;
+        bool waited = false;
         while (pos != 0) {
             const std::uint32_t parent = (pos - 1) / 2;
             const int side = pos == 2 * parent + 1 ? 0 : 1;
-            if (!node_lock(parent, side, deadline)) {
+            if (!node_lock(parent, side, deadline, waited)) {
                 for (std::uint32_t i = depth; i-- > 0;) {
                     const std::uint32_t child = won[i];
                     const std::uint32_t p = (child - 1) / 2;
                     const int s = child == 2 * p + 1 ? 0 : 1;
                     nodes_[p].flag[s].store(0);
                 }
+                RWR_TELEM(if (telemetry_) {
+                    telemetry_->count(TelemetryCounter::kMutexAbort);
+                })
                 return false;
             }
             won[depth++] = pos;
             pos = parent;
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kMutexAcquire);
+            if (waited) {
+                telemetry_->count(TelemetryCounter::kMutexContended);
+            }
+        })
+        (void)waited;
         return true;
     }
 
@@ -93,12 +113,18 @@ class TournamentMutex {
     [[nodiscard]] std::uint32_t capacity() const { return m_; }
 
    private:
+    // Both sides of one Peterson node must share state (that is the
+    // algorithm), but adjacent tree nodes are contended by disjoint slot
+    // pairs and must not share a line.
     struct alignas(64) Node {
         std::atomic<std::uint32_t> flag[2] = {0, 0};
         std::atomic<std::uint32_t> victim{0};
     };
+    static_assert(sizeof(Node) == 64 && alignof(Node) == 64,
+                  "one arbitration node per cache line");
 
-    bool node_lock(std::uint32_t n, int side, Deadline& deadline) {
+    bool node_lock(std::uint32_t n, int side, Deadline& deadline,
+                   bool& waited) {
         Node& node = nodes_[n];
         node.flag[side].store(1);
         node.victim.store(static_cast<std::uint32_t>(side));
@@ -107,17 +133,21 @@ class TournamentMutex {
         // seq_cst throughout -- Peterson is broken under weaker orderings.
         for (;;) {
             if (node.flag[1 - side].load() == 0) {
-                return true;
+                break;
             }
             if (node.victim.load() != static_cast<std::uint32_t>(side)) {
-                return true;
+                break;
             }
             if (deadline.poll()) {
                 node.flag[side].store(0);
+                RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
                 return false;
             }
+            waited = true;
             backoff.pause();
         }
+        RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
+        return true;
     }
 
     void check_slot(std::uint32_t slot) const {
@@ -129,6 +159,9 @@ class TournamentMutex {
     std::uint32_t m_;
     std::uint32_t num_leaves_;
     std::unique_ptr<Node[]> nodes_;
+#if RWR_TELEMETRY
+    LockTelemetry* telemetry_ = nullptr;
+#endif
 };
 
 /// MCS queue lock from CAS (see mutex/sim_mutex.hpp for the discussion):
@@ -175,10 +208,15 @@ class McsMutex {
     }
 
    private:
+    // locked/next sit on one line by design: both are written by the
+    // predecessor during hand-off and read by the owner; separate slots'
+    // nodes must not pack together.
     struct alignas(64) Node {
         std::atomic<std::uint64_t> locked{0};
         std::atomic<std::uint64_t> next{0};
     };
+    static_assert(sizeof(Node) == 64 && alignof(Node) == 64,
+                  "one queue node per cache line");
 
     void check_slot(std::uint32_t slot) const {
         if (slot >= m_) {
@@ -201,6 +239,11 @@ class TasMutex {
                 if (locked_.compare_exchange_strong(expected, 1)) {
                     return;
                 }
+                // Observed hand-off, lost the race: a fresh wait for the
+                // new holder starts, so restart escalation (Backoff
+                // lifecycle contract, spin.hpp) instead of carrying a
+                // slept-once stage into the next wait.
+                backoff.reset();
             }
             backoff.pause();
         }

@@ -1,0 +1,182 @@
+// Native throughput/latency workload runner -- the measurement engine
+// behind `bench_native_throughput --json` and `lab metrics`.
+//
+// Spawns n reader threads + m writer threads hammering one lock for a
+// fixed wall duration, counts completed passages per role, and pairs the
+// result with the lock's LockTelemetry aggregate (latency quantiles come
+// from the sampled histograms, contention/backoff/abort counters from the
+// padded per-thread slabs). Telemetry-off builds still measure throughput;
+// the telemetry fields just stay zero.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "native/af_lock.hpp"
+#include "native/baselines.hpp"
+#include "native/telemetry.hpp"
+
+namespace rwr::native::perf {
+
+enum class PerfLock { Af, Centralized, Faa, PhaseFair };
+
+inline const char* to_string(PerfLock l) {
+    switch (l) {
+        case PerfLock::Af: return "af";
+        case PerfLock::Centralized: return "centralized";
+        case PerfLock::Faa: return "faa";
+        case PerfLock::PhaseFair: return "phase-fair";
+        default: return "?";
+    }
+}
+
+inline PerfLock perf_lock_from(const std::string& name) {
+    if (name == "af") return PerfLock::Af;
+    if (name == "centralized") return PerfLock::Centralized;
+    if (name == "faa") return PerfLock::Faa;
+    if (name == "phase-fair" || name == "phasefair") return PerfLock::PhaseFair;
+    throw std::invalid_argument("unknown lock '" + name +
+                                "' (af|centralized|faa|phase-fair)");
+}
+
+struct PerfConfig {
+    PerfLock lock = PerfLock::Af;
+    std::uint32_t readers = 2;       ///< Reader threads (n).
+    std::uint32_t writers = 1;       ///< Writer threads (m).
+    std::uint32_t f = 0;             ///< A_f parameter; 0 = ceil(sqrt(n)).
+    std::uint32_t duration_ms = 200; ///< Measured wall time.
+    /// Readers yield between passages every `reader_yield_every` passages
+    /// (0 = never): on oversubscribed hosts a relentless reader flood
+    /// starves A_f writers (its documented fairness property) and the
+    /// run never ends.
+    std::uint32_t reader_yield_every = 1;
+
+    [[nodiscard]] std::uint32_t resolved_f() const {
+        if (f != 0) {
+            return f;
+        }
+        std::uint32_t r = 1;
+        while (r * r < readers) {
+            ++r;
+        }
+        return r;
+    }
+};
+
+struct PerfResult {
+    PerfConfig cfg;
+    double elapsed_s = 0;
+    std::uint64_t reader_ops = 0;
+    std::uint64_t writer_ops = 0;
+    TelemetrySnapshot telemetry;
+
+    [[nodiscard]] double throughput_ops() const {
+        return elapsed_s > 0
+                   ? static_cast<double>(reader_ops + writer_ops) / elapsed_s
+                   : 0;
+    }
+};
+
+namespace detail {
+
+template <typename Lock>
+PerfResult drive(Lock& lock, LockTelemetry& telemetry,
+                 const PerfConfig& cfg) {
+    lock.attach_telemetry(&telemetry);
+    std::atomic<bool> go{false};
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> reader_ops{0};
+    std::atomic<std::uint64_t> writer_ops{0};
+
+    std::vector<std::thread> threads;
+    threads.reserve(cfg.readers + cfg.writers);
+    for (std::uint32_t r = 0; r < cfg.readers; ++r) {
+        threads.emplace_back([&, r] {
+            while (!go.load()) {
+                std::this_thread::yield();
+            }
+            std::uint64_t ops = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                lock.lock_shared(r);
+                lock.unlock_shared(r);
+                ++ops;
+                if (cfg.reader_yield_every != 0 &&
+                    ops % cfg.reader_yield_every == 0) {
+                    std::this_thread::yield();
+                }
+            }
+            reader_ops.fetch_add(ops);
+        });
+    }
+    for (std::uint32_t w = 0; w < cfg.writers; ++w) {
+        threads.emplace_back([&, w] {
+            while (!go.load()) {
+                std::this_thread::yield();
+            }
+            std::uint64_t ops = 0;
+            while (!stop.load(std::memory_order_relaxed)) {
+                lock.lock(w);
+                lock.unlock(w);
+                ++ops;
+                std::this_thread::yield();  // Let readers breathe.
+            }
+            writer_ops.fetch_add(ops);
+        });
+    }
+
+    const auto t0 = std::chrono::steady_clock::now();
+    go.store(true);
+    std::this_thread::sleep_for(std::chrono::milliseconds(cfg.duration_ms));
+    stop.store(true);
+    for (auto& t : threads) {
+        t.join();
+    }
+    const auto t1 = std::chrono::steady_clock::now();
+
+    PerfResult res;
+    res.cfg = cfg;
+    res.elapsed_s = std::chrono::duration<double>(t1 - t0).count();
+    res.reader_ops = reader_ops.load();
+    res.writer_ops = writer_ops.load();
+    res.telemetry = telemetry.aggregate();
+    lock.attach_telemetry(nullptr);
+    return res;
+}
+
+}  // namespace detail
+
+/// Runs one workload; constructs the lock fresh so telemetry and lock
+/// state start from zero.
+inline PerfResult run_perf(const PerfConfig& cfg) {
+    if (cfg.readers == 0 || cfg.writers == 0) {
+        throw std::invalid_argument("perf: need >= 1 reader and writer");
+    }
+    LockTelemetry telemetry;
+    switch (cfg.lock) {
+        case PerfLock::Af: {
+            AfLock lock(cfg.readers, cfg.writers, cfg.resolved_f());
+            return detail::drive(lock, telemetry, cfg);
+        }
+        case PerfLock::Centralized: {
+            CentralizedRWLock lock;
+            return detail::drive(lock, telemetry, cfg);
+        }
+        case PerfLock::Faa: {
+            FaaRWLock lock(cfg.writers);
+            return detail::drive(lock, telemetry, cfg);
+        }
+        case PerfLock::PhaseFair: {
+            PhaseFairRWLock lock(cfg.writers);
+            return detail::drive(lock, telemetry, cfg);
+        }
+    }
+    throw std::logic_error("perf: unreachable lock kind");
+}
+
+}  // namespace rwr::native::perf

@@ -108,6 +108,10 @@ class AfSharedMutex {
     AfSharedMutex(const AfSharedMutex&) = delete;
     AfSharedMutex& operator=(const AfSharedMutex&) = delete;
 
+    /// Forwarded to the underlying AfLock (and its WL); attach before
+    /// starting the workload. No-op when RWR_TELEMETRY=0.
+    void attach_telemetry(LockTelemetry* t) { lock_.attach_telemetry(t); }
+
     void lock_shared() {
         lock_.lock_shared(detail::thread_slots().get(reader_slots_));
     }

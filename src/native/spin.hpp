@@ -9,6 +9,7 @@
 // blocked thread burns a full core for the whole wait.
 #pragma once
 
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <optional>
@@ -35,8 +36,18 @@ inline void cpu_relax() {
 /// sleep stage caps the cost of a long wait on oversubscribed machines at
 /// one wakeup per kSleepCap instead of a busy core, while the earlier
 /// stages keep the uncontended hand-off latency unchanged.
+///
+/// Lifecycle contract for call sites: one Backoff instance describes ONE
+/// wait for ONE hand-off. A loop that observes the awaited hand-off and
+/// then waits again (a lost CAS race, a second gate in the same passage)
+/// must reset() -- otherwise a thread that escalated to the sleep stage
+/// once starts every subsequent wait with kSleepCap-sized naps and a
+/// microseconds-long hand-off turns into milliseconds.
 class Backoff {
    public:
+    /// Escalation stage the next pause() will execute.
+    enum class Stage { Spin, Yield, Sleep };
+
     void pause() {
         if (spins_ < kSpinLimit) {
             ++spins_;
@@ -46,9 +57,9 @@ class Backoff {
             std::this_thread::yield();
         } else {
             std::this_thread::sleep_for(sleep_);
-            if (sleep_ < kSleepCap) {
-                sleep_ *= 2;
-            }
+            // Escalate but never past the cap: doubling *before* clamping
+            // used to overshoot to 2*kSleepCap-epsilon slices.
+            sleep_ = std::min(sleep_ * 2, kSleepCap);
         }
     }
 
@@ -56,6 +67,28 @@ class Backoff {
         spins_ = 0;
         sleep_ = kSleepStart;
     }
+
+    [[nodiscard]] Stage stage() const {
+        if (spins_ < kSpinLimit) {
+            return Stage::Spin;
+        }
+        if (spins_ < kSpinLimit + kYieldLimit) {
+            return Stage::Yield;
+        }
+        return Stage::Sleep;
+    }
+
+    /// Next sleep slice (only meaningful in Stage::Sleep); bounded by
+    /// sleep_cap() at all times.
+    [[nodiscard]] std::chrono::microseconds sleep_slice() const {
+        return sleep_;
+    }
+
+    static constexpr std::chrono::microseconds sleep_cap() {
+        return kSleepCap;
+    }
+    static constexpr int spin_limit() { return kSpinLimit; }
+    static constexpr int yield_limit() { return kYieldLimit; }
 
    private:
     static constexpr int kSpinLimit = 64;
@@ -99,17 +132,21 @@ class Deadline {
 
     /// True once the deadline has passed. Reads the clock at most every
     /// kStride calls; infinite and immediate deadlines never touch it.
+    /// Expiry latches: once any clock read has observed the deadline
+    /// passed, every subsequent poll() returns true immediately -- the
+    /// stride only amortizes reads *before* expiry is known.
     [[nodiscard]] bool poll() {
         if (!when_.has_value()) {
             return false;
         }
-        if (is_immediate()) {
+        if (expired_ || is_immediate()) {
             return true;
         }
         if (++calls_ % kStride != 1) {
             return false;
         }
-        return std::chrono::steady_clock::now() >= *when_;
+        expired_ = std::chrono::steady_clock::now() >= *when_;
+        return expired_;
     }
 
    private:
@@ -119,6 +156,7 @@ class Deadline {
     static constexpr std::uint32_t kStride = 8;
     std::optional<std::chrono::steady_clock::time_point> when_;
     std::uint32_t calls_ = 0;
+    bool expired_ = false;
 };
 
 }  // namespace rwr::native

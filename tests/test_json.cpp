@@ -1,0 +1,196 @@
+// harness/json.hpp (value tree, writer, strict parser) and
+// harness/bench_json.hpp (the "rwr-bench-v1" schema validator the perf
+// pipeline writes and bench_compare consumes).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "harness/bench_json.hpp"
+#include "harness/json.hpp"
+#include "native/telemetry.hpp"
+
+namespace {
+
+using rwr::harness::json::Value;
+namespace bench = rwr::harness::bench;
+
+TEST(JsonTest, ScalarsDump) {
+    EXPECT_EQ(Value(nullptr).dump(), "null\n");
+    EXPECT_EQ(Value(true).dump(), "true\n");
+    EXPECT_EQ(Value(std::int64_t{-42}).dump(), "-42\n");
+    EXPECT_EQ(Value(std::uint64_t{18446744073709551615ull}).dump(),
+              "18446744073709551615\n");
+    EXPECT_EQ(Value("hi\n\"there\"").dump(), "\"hi\\n\\\"there\\\"\"\n");
+    // A double always re-parses as a double.
+    EXPECT_EQ(Value(2.0).dump(), "2.0\n");
+}
+
+TEST(JsonTest, ObjectPreservesInsertionOrderAndReplacesDuplicates) {
+    auto obj = Value::object();
+    obj.set("b", 1);
+    obj.set("a", 2);
+    obj.set("b", 3);  // Replace, not append.
+    ASSERT_EQ(obj.members().size(), 2u);
+    EXPECT_EQ(obj.members()[0].first, "b");
+    EXPECT_EQ(obj.members()[1].first, "a");
+    EXPECT_EQ(obj.find("b")->as_uint(), 3u);
+    EXPECT_EQ(obj.find("missing"), nullptr);
+}
+
+TEST(JsonTest, RoundTripThroughParser) {
+    auto doc = Value::object();
+    doc.set("name", "A_f lock");
+    doc.set("count", std::uint64_t{12345678901234ull});
+    doc.set("neg", std::int64_t{-7});
+    doc.set("ratio", 0.375);
+    doc.set("flag", true);
+    doc.set("nothing", Value(nullptr));
+    auto arr = Value::array();
+    arr.push_back(1);
+    arr.push_back("two");
+    auto nested = Value::object();
+    nested.set("deep", 3);
+    arr.push_back(std::move(nested));
+    doc.set("items", std::move(arr));
+
+    const Value back = Value::parse(doc.dump());
+    EXPECT_EQ(back.dump(), doc.dump());
+    EXPECT_EQ(back.find("count")->as_uint(), 12345678901234ull);
+    EXPECT_DOUBLE_EQ(back.find("ratio")->as_double(), 0.375);
+    EXPECT_EQ(back.find("items")->items()[2].find("deep")->as_uint(), 3u);
+}
+
+TEST(JsonTest, ParserAcceptsEscapesAndWhitespace) {
+    const Value v = Value::parse(
+        "  { \"k\" : [ 1 , -2.5e1 , \"a\\tb\\u0041\" , null , false ] }  ");
+    const auto& items = v.find("k")->items();
+    EXPECT_EQ(items[0].as_uint(), 1u);
+    EXPECT_DOUBLE_EQ(items[1].as_double(), -25.0);
+    EXPECT_EQ(items[2].as_string(), "a\tbA");
+    EXPECT_EQ(items[3].type(), Value::Type::Null);
+    EXPECT_FALSE(items[4].as_bool());
+}
+
+TEST(JsonTest, ParserRejectsMalformedInput) {
+    EXPECT_THROW(Value::parse(""), std::runtime_error);
+    EXPECT_THROW(Value::parse("{"), std::runtime_error);
+    EXPECT_THROW(Value::parse("{\"a\":1,}"), std::runtime_error);
+    EXPECT_THROW(Value::parse("[1 2]"), std::runtime_error);
+    EXPECT_THROW(Value::parse("\"unterminated"), std::runtime_error);
+    EXPECT_THROW(Value::parse("{\"a\":1} trailing"), std::runtime_error);
+    EXPECT_THROW(Value::parse("nulll"), std::runtime_error);
+    EXPECT_THROW(Value::parse("--3"), std::runtime_error);
+}
+
+TEST(JsonTest, TypeMismatchesThrow) {
+    EXPECT_THROW((void)Value(1).as_string(), std::runtime_error);
+    EXPECT_THROW((void)Value("x").as_double(), std::runtime_error);
+    EXPECT_THROW((void)Value(std::int64_t{-1}).as_uint(), std::runtime_error);
+    EXPECT_THROW((void)Value(1).items(), std::runtime_error);
+    auto arr = Value::array();
+    EXPECT_THROW(arr.set("k", 1), std::runtime_error);
+}
+
+// ---- rwr-bench-v1 schema ---------------------------------------------
+
+Value valid_native_row() {
+    auto row = Value::object();
+    row.set("lock", "af");
+    row.set("n", 4);
+    row.set("f", 2);
+    row.set("threads", 5);
+    row.set("throughput_ops", 1.25e6);
+    return row;
+}
+
+TEST(BenchJsonTest, ValidatesGoodDocuments) {
+    auto doc = bench::make_doc("native_throughput");
+    doc.set("results", Value::array()).push_back(valid_native_row());
+    EXPECT_NO_THROW(bench::validate(doc));
+
+    auto sim = bench::make_doc("tradeoff");
+    auto row = Value::object();
+    row.set("lock", "af");
+    row.set("n", 64);
+    row.set("f", 8);
+    row.set("threads", 65);
+    auto rmr = Value::object();
+    rmr.set("reader_mean_passage", 3.5);
+    rmr.set("writer_mean_passage", 9.0);
+    rmr.set("reader_max_passage", 7);
+    rmr.set("writer_max_passage", 12);
+    row.set("sim_rmr", std::move(rmr));
+    sim.set("results", Value::array()).push_back(std::move(row));
+    EXPECT_NO_THROW(bench::validate(sim));
+}
+
+TEST(BenchJsonTest, RejectsSchemaViolations) {
+    // Wrong schema tag.
+    auto doc = bench::make_doc("x");
+    doc.set("schema", "rwr-bench-v0");
+    EXPECT_THROW(bench::validate(doc), std::runtime_error);
+
+    // Row without any payload group.
+    auto no_payload = bench::make_doc("x");
+    {
+        auto bare = Value::object();
+        bare.set("lock", "af");
+        bare.set("n", 1);
+        bare.set("f", 1);
+        bare.set("threads", 2);
+        no_payload.set("results", Value::array()).push_back(std::move(bare));
+    }
+    EXPECT_THROW(bench::validate(no_payload), std::runtime_error);
+
+    // Row missing a required axis.
+    auto no_axis = bench::make_doc("x");
+    auto bad = valid_native_row();
+    bad.set("lock", 7);  // Not a string.
+    no_axis.set("results", Value::array()).push_back(std::move(bad));
+    EXPECT_THROW(bench::validate(no_axis), std::runtime_error);
+
+    // sim_rmr without its required means.
+    auto bad_rmr = bench::make_doc("x");
+    auto rrow = valid_native_row();
+    rrow.set("sim_rmr", Value::object());
+    bad_rmr.set("results", Value::array()).push_back(std::move(rrow));
+    EXPECT_THROW(bench::validate(bad_rmr), std::runtime_error);
+}
+
+TEST(BenchJsonTest, WriteValidatesAndRoundTripsThroughDisk) {
+    const std::string path = ::testing::TempDir() + "rwr_bench_json_test.json";
+    auto doc = bench::make_doc("native_throughput");
+    doc.set("results", Value::array()).push_back(valid_native_row());
+    bench::write_file(path, doc);
+    const Value back = bench::read_file(path);
+    EXPECT_NO_THROW(bench::validate(back));
+    EXPECT_EQ(back.dump(), doc.dump());
+    std::remove(path.c_str());
+
+    // An invalid document must never reach the disk.
+    auto bad = bench::make_doc("x");
+    bad.set("schema", "nope");
+    EXPECT_THROW(bench::write_file(path, bad), std::runtime_error);
+    std::ifstream probe(path);
+    EXPECT_FALSE(probe.good());
+}
+
+TEST(BenchJsonTest, TelemetrySerializationCoversEveryCounter) {
+    rwr::native::TelemetrySnapshot snap;
+    snap.counters[0] = 42;
+    const Value t = bench::telemetry_to_json(snap);
+    EXPECT_EQ(t.members().size(), rwr::native::kTelemetryCounters);
+    EXPECT_EQ(t.find("reader_acquisitions")->as_uint(), 42u);
+
+    // Empty histograms are skipped; populated ones carry the quantiles.
+    EXPECT_EQ(bench::latency_to_json(snap).members().size(), 0u);
+    snap.histos[0][4] = 10;
+    const Value lat = bench::latency_to_json(snap);
+    ASSERT_NE(lat.find("reader_entry"), nullptr);
+    EXPECT_EQ(lat.find("reader_entry")->find("samples")->as_uint(), 10u);
+    EXPECT_EQ(lat.find("reader_entry")->find("p50")->as_uint(), 32u);
+}
+
+}  // namespace

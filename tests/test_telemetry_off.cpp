@@ -1,0 +1,108 @@
+// Telemetry zero-cost-when-off proof. This translation unit is compiled
+// with RWR_TELEMETRY=0 (see tests/CMakeLists.txt): the locks must build
+// and behave identically with every telemetry hook compiled out, attach
+// must be an accepted no-op, and aggregates must stay all-zero.
+//
+// The structural half of the guarantee -- no telemetry members, no extra
+// atomics in the hot path -- is enforced at compile time below by checking
+// the OFF-build shell classes are empty-ish and by the RWR_TELEM macro
+// erasing its arguments.
+#include <gtest/gtest.h>
+
+#include "native/af_lock.hpp"
+#include "native/baselines.hpp"
+#include "native/shared_mutex.hpp"
+#include "native/telemetry.hpp"
+
+#if RWR_TELEMETRY
+#error "test_telemetry_off must be compiled with RWR_TELEMETRY=0"
+#endif
+
+namespace {
+
+using namespace rwr::native;
+
+TEST(TelemetryOffTest, ReportsDisabled) {
+    EXPECT_FALSE(telemetry_enabled());
+}
+
+TEST(TelemetryOffTest, MacroErasesItsArguments) {
+    // RWR_TELEM(...) must expand to nothing: if the expression below were
+    // evaluated, the test would fail.
+    bool evaluated = false;
+    RWR_TELEM(evaluated = true;)
+    EXPECT_FALSE(evaluated);
+}
+
+TEST(TelemetryOffTest, AttachIsANoOpAndCountersStayZero) {
+    LockTelemetry telemetry;
+    AfLock lock(4, 2, 2);
+    lock.attach_telemetry(&telemetry);  // Must compile; must do nothing.
+
+    for (int i = 0; i < 5; ++i) {
+        lock.lock_shared(0);
+        lock.unlock_shared(0);
+        lock.lock(0);
+        lock.unlock(0);
+    }
+    lock.lock(0);
+    EXPECT_FALSE(lock.try_lock_shared(1));  // Abort path still works...
+    lock.unlock(0);
+
+    const auto snap = telemetry.aggregate();
+    for (std::uint32_t c = 0; c < kTelemetryCounters; ++c) {
+        EXPECT_EQ(snap.counters[c], 0u)
+            << to_string(static_cast<TelemetryCounter>(c));
+    }
+    for (std::uint32_t h = 0; h < kTelemetryHistos; ++h) {
+        EXPECT_EQ(snap.samples(static_cast<TelemetryHisto>(h)), 0u);
+    }
+}
+
+TEST(TelemetryOffTest, AllLocksCompileWithHooksErased) {
+    LockTelemetry telemetry;
+
+    CentralizedRWLock c;
+    c.attach_telemetry(&telemetry);
+    c.lock_shared();
+    c.unlock_shared();
+    c.lock();
+    c.unlock();
+
+    FaaRWLock f(1);
+    f.attach_telemetry(&telemetry);
+    f.lock_shared();
+    f.unlock_shared();
+    f.lock(0);
+    f.unlock(0);
+
+    PhaseFairRWLock p(1);
+    p.attach_telemetry(&telemetry);
+    p.lock_shared();
+    p.unlock_shared();
+    p.lock(0);
+    p.unlock(0);
+
+    AfSharedMutex mx(2, 1);
+    mx.attach_telemetry(&telemetry);
+    mx.lock_shared();
+    mx.unlock_shared();
+    mx.lock();
+    mx.unlock();
+
+    EXPECT_EQ(telemetry.aggregate().count(TelemetryCounter::kReaderAcquire),
+              0u);
+}
+
+TEST(TelemetryOffTest, ShellStopwatchHasNoState) {
+    // The OFF-build stopwatch must carry nothing (the ON build carries a
+    // pointer, a flag and a time point): proof the hot path gains no
+    // spills when telemetry is compiled out.
+    static_assert(sizeof(TelemetryStopwatch) == 1,
+                  "OFF-build TelemetryStopwatch must be empty");
+    TelemetryStopwatch sw(nullptr, TelemetryHisto::kReaderEntry);
+    sw.stop();  // No-op.
+    SUCCEED();
+}
+
+}  // namespace
