@@ -1,13 +1,19 @@
 // Perf-trajectory regression check over "rwr-bench-v1" JSON files.
 //
 //   bench_compare --check FILE.json          validate schema, exit 0/1
-//   bench_compare OLD.json NEW.json [--max-drop 0.10]
+//   bench_compare OLD.json NEW.json [--max-drop 0.10] [--max-perf-drop 0.50]
 //
 // Compare mode joins rows on (bench, lock, protocol, n, m, f, threads) and
-// flags: throughput_ops drops beyond --max-drop (noisy, wall-clock), and
+// flags: throughput_ops drops beyond --max-drop (noisy, wall-clock),
 // sim_rmr mean-passage *increases* beyond the same fraction (deterministic
-// counts -- any growth is a real protocol regression). Exit 1 iff any row
-// is flagged, so CI or a local loop can gate on it:
+// counts -- any growth is a real protocol regression), and
+// sim_perf.steps_per_sec drops beyond --max-perf-drop (simulator engine
+// speed; wall-clock and machine-dependent, hence the much wider default
+// tolerance -- it guards against order-of-magnitude engine regressions,
+// not noise). Rows where either run spent less than --min-perf-ms (default
+// 5 ms) of wall time are exempt from the perf gate: sub-millisecond cells
+// measure scheduler jitter, not the engine. Exit 1 iff any row is flagged,
+// so CI or a local loop can gate on it:
 //
 //   bench_native_throughput --json new.json && bench_compare BENCH_native.json new.json
 #include <cstring>
@@ -66,7 +72,8 @@ void diff_metric(const std::string& key, const char* what, double before,
     }
 }
 
-int compare(const Value& oldd, const Value& newd, double max_frac) {
+int compare(const Value& oldd, const Value& newd, double max_frac,
+            double max_perf_frac, double min_perf_ms) {
     const auto old_idx = index_rows(oldd);
     const auto new_idx = index_rows(newd);
     std::vector<Flagged> flags;
@@ -99,6 +106,25 @@ int compare(const Value& oldd, const Value& newd, double max_frac) {
                 }
             }
         }
+        const Value* old_p = old_row->find("sim_perf");
+        const Value* new_p = new_row->find("sim_perf");
+        if (old_p != nullptr && new_p != nullptr) {
+            const Value* ov = old_p->find("steps_per_sec");
+            const Value* nv = new_p->find("steps_per_sec");
+            const Value* ow = old_p->find("wall_ms");
+            const Value* nw = new_p->find("wall_ms");
+            // Sub-floor cells finish in fractions of a millisecond; their
+            // steps_per_sec is dominated by scheduling noise, not engine
+            // speed, so only rows where both runs spent real time qualify.
+            const bool measurable = ow != nullptr && nw != nullptr &&
+                                    ow->as_double() >= min_perf_ms &&
+                                    nw->as_double() >= min_perf_ms;
+            if (ov != nullptr && nv != nullptr && measurable) {
+                diff_metric(key, "sim_perf.steps_per_sec", ov->as_double(),
+                            nv->as_double(), /*drop_is_bad=*/true,
+                            max_perf_frac, &flags);
+            }
+        }
     }
     for (const auto& [key, row] : new_idx) {
         if (old_idx.find(key) == old_idx.end()) {
@@ -118,7 +144,8 @@ int compare(const Value& oldd, const Value& newd, double max_frac) {
 
 int usage() {
     std::cerr << "usage: bench_compare --check FILE.json\n"
-                 "       bench_compare OLD.json NEW.json [--max-drop FRAC]\n";
+                 "       bench_compare OLD.json NEW.json [--max-drop FRAC] "
+                 "[--max-perf-drop FRAC] [--min-perf-ms MS]\n";
     return 2;
 }
 
@@ -127,12 +154,20 @@ int usage() {
 int main(int argc, char** argv) {
     bool check_only = false;
     double max_frac = 0.10;
+    double max_perf_frac = 0.50;
+    double min_perf_ms = 5.0;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--check") == 0) {
             check_only = true;
         } else if (std::strcmp(argv[i], "--max-drop") == 0 && i + 1 < argc) {
             max_frac = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--max-perf-drop") == 0 &&
+                   i + 1 < argc) {
+            max_perf_frac = std::stod(argv[++i]);
+        } else if (std::strcmp(argv[i], "--min-perf-ms") == 0 &&
+                   i + 1 < argc) {
+            min_perf_ms = std::stod(argv[++i]);
         } else {
             files.emplace_back(argv[i]);
         }
@@ -153,7 +188,7 @@ int main(int argc, char** argv) {
         const Value newd = bench::read_file(files[1]);
         bench::validate(oldd);
         bench::validate(newd);
-        return compare(oldd, newd, max_frac);
+        return compare(oldd, newd, max_frac, max_perf_frac, min_perf_ms);
     } catch (const std::exception& e) {
         std::cerr << "bench_compare: " << e.what() << "\n";
         return 1;

@@ -10,10 +10,16 @@
 //   growth       -- max per-batch knowledge growth (Lemma 2: <= 3 for
 //                   read/write/CAS; FAA exceeds it and escapes the bound)
 //   L1/L4        -- Lemma 1 violations (must be 0) / Lemma 4 holds.
+//
+// Each adversary construction is independent (own System + Memory), so all
+// cells run on the parallel sweep runner (--jobs N).
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "adversary/adversary.hpp"
 #include "core/af_params.hpp"
+#include "harness/parallel.hpp"
 #include "harness/table.hpp"
 
 namespace {
@@ -21,48 +27,104 @@ namespace {
 using namespace rwr;
 using namespace rwr::harness;
 using adversary::AdversaryConfig;
+using adversary::AdversaryResult;
 using adversary::run_adversary;
 
-void row_for(Table& t, const std::string& label, LockKind kind,
-             std::uint32_t n, std::uint32_t f, Protocol proto) {
+struct Cell {
+    std::string label;
+    AdversaryConfig cfg;
+    AdversaryResult res;
+};
+
+void add_cell(std::vector<Cell>* cells, const std::string& label,
+              LockKind kind, std::uint32_t n, std::uint32_t f,
+              Protocol proto) {
     AdversaryConfig cfg;
     cfg.lock = kind;
     cfg.protocol = proto;
     cfg.n = n;
     cfg.f = f;
-    const auto res = run_adversary(cfg);
+    cells->push_back({label, cfg, {}});
+}
+
+void print_row(Table& t, const Cell& c) {
+    const AdversaryResult& res = c.res;
     if (!res.completed) {
-        t.row({label, fmt(n), fmt(f), "-", fmt(res.log3_bound, 1), "-", "-",
-               "-", "-", res.note.substr(0, 28)});
+        t.row({c.label, fmt(c.cfg.n), fmt(c.cfg.f), "-",
+               fmt(res.log3_bound, 1), "-", "-", "-", "-",
+               res.note.substr(0, 28)});
         return;
     }
-    t.row({label, fmt(n), fmt(f), fmt(res.r), fmt(res.log3_bound, 1),
-           fmt(res.survivor_expanding_steps), fmt(res.max_reader_exit_rmrs),
-           fmt(res.writer_entry_rmrs), fmt(res.max_growth_factor, 2),
+    t.row({c.label, fmt(c.cfg.n), fmt(c.cfg.f), fmt(res.r),
+           fmt(res.log3_bound, 1), fmt(res.survivor_expanding_steps),
+           fmt(res.max_reader_exit_rmrs), fmt(res.writer_entry_rmrs),
+           fmt(res.max_growth_factor, 2),
            std::string(res.lemma1_violations == 0 ? "0" : "VIOLATED") + "/" +
                (res.lemma4_holds ? "ok" : "VIOLATED")});
 }
 
+std::vector<std::string> columns() {
+    return {"lock", "n", "f", "r", "log3(n/f)", "survivor", "exit max",
+            "wr entry", "growth", "L1/L4"};
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = parse_jobs(argc, argv);
     std::cout << "bench_lowerbound: the Theorem 5 adversarial construction "
-                 "(E = E1 E2 E3) against every lock\n";
+                 "(E = E1 E2 E3) against every lock (jobs="
+              << jobs << ")\n";
 
+    // Build every cell up front; run them all on one pool.
+    std::vector<Cell> e2;  // Per-protocol A_f grid.
     for (const Protocol proto :
          {Protocol::WriteThrough, Protocol::WriteBack}) {
-        std::cout << "\n=== E2: A_f under the adversary, protocol = "
-                  << to_string(proto) << " ===\n";
-        Table t({"lock", "n", "f", "r", "log3(n/f)", "survivor", "exit max",
-                 "wr entry", "growth", "L1/L4"});
         for (const std::uint32_t n : {16u, 64u, 256u, 1024u, 4096u}) {
             for (const auto choice :
                  {core::FChoice::One, core::FChoice::Log, core::FChoice::Sqrt,
                   core::FChoice::Linear}) {
                 const std::uint32_t f = core::f_of(choice, n);
-                row_for(t, "A_f(" + to_string(choice) + ")", LockKind::Af, n,
-                        f, proto);
+                add_cell(&e2, "A_f(" + to_string(choice) + ")", LockKind::Af,
+                         n, f, proto);
             }
+        }
+    }
+    std::vector<Cell> e2b;  // Baselines (write-back).
+    for (const std::uint32_t n : {16u, 64u, 256u, 1024u}) {
+        add_cell(&e2b, "centralized", LockKind::Centralized, n, 1,
+                 Protocol::WriteBack);
+    }
+    for (const std::uint32_t n : {16u, 64u, 256u}) {
+        add_cell(&e2b, "reader-pref", LockKind::ReaderPref, n, 1,
+                 Protocol::WriteBack);
+    }
+    for (const std::uint32_t n : {16u, 256u, 4096u}) {
+        add_cell(&e2b, "faa", LockKind::Faa, n, 1, Protocol::WriteBack);
+    }
+    add_cell(&e2b, "big-mutex", LockKind::BigMutex, 16, 1,
+             Protocol::WriteBack);
+    std::vector<Cell> e2c;  // Knowledge growth trace.
+    add_cell(&e2c, "A_f", LockKind::Af, 256, 1, Protocol::WriteBack);
+
+    std::vector<Cell*> all;
+    for (auto* group : {&e2, &e2b, &e2c}) {
+        for (auto& c : *group) {
+            all.push_back(&c);
+        }
+    }
+    parallel_for(all.size(), jobs, [&](std::size_t i) {
+        all[i]->res = run_adversary(all[i]->cfg);
+    });
+
+    std::size_t i = 0;
+    for (const Protocol proto :
+         {Protocol::WriteThrough, Protocol::WriteBack}) {
+        std::cout << "\n=== E2: A_f under the adversary, protocol = "
+                  << to_string(proto) << " ===\n";
+        Table t(columns());
+        for (; i < e2.size() && e2[i].cfg.protocol == proto; ++i) {
+            print_row(t, e2[i]);
         }
         t.print();
     }
@@ -70,29 +132,15 @@ int main() {
     std::cout << "\n=== E2b: baselines under the adversary (write-back) ===\n"
               << "(centralized: r = Θ(n); reader-pref: r = Θ(log n); FAA "
                  "escapes -- growth > 3; big-mutex: E1 infeasible)\n";
-    Table t({"lock", "n", "f", "r", "log3(n/f)", "survivor", "exit max",
-             "wr entry", "growth", "L1/L4"});
-    for (const std::uint32_t n : {16u, 64u, 256u, 1024u}) {
-        row_for(t, "centralized", LockKind::Centralized, n, 1,
-                Protocol::WriteBack);
+    Table t(columns());
+    for (const Cell& c : e2b) {
+        print_row(t, c);
     }
-    for (const std::uint32_t n : {16u, 64u, 256u}) {
-        row_for(t, "reader-pref", LockKind::ReaderPref, n, 1,
-                Protocol::WriteBack);
-    }
-    for (const std::uint32_t n : {16u, 256u, 4096u}) {
-        row_for(t, "faa", LockKind::Faa, n, 1, Protocol::WriteBack);
-    }
-    row_for(t, "big-mutex", LockKind::BigMutex, 16, 1, Protocol::WriteBack);
     t.print();
 
     std::cout << "\n=== E2c: knowledge growth trace (A_f, n=256, f=1) ===\n"
               << "(the 3^j invariant of Theorem 5's construction)\n";
-    AdversaryConfig cfg;
-    cfg.lock = LockKind::Af;
-    cfg.n = 256;
-    cfg.f = 1;
-    const auto res = run_adversary(cfg);
+    const AdversaryResult& res = e2c.front().res;
     Table g({"iteration j", "batch", "readers left", "M(E'_j)", "3^j cap",
              "growth"});
     double cap = 1;

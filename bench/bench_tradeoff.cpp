@@ -5,20 +5,30 @@
 // reports measured per-passage RMRs against the predicted complexities:
 // readers Θ(log2(n/f)), writers Θ(f). The paper claims the tradeoff is
 // tight for every f; the fitted ratios (measured / predicted) must stay
-// flat as n grows.
-// --json <path>: additionally emits every sweep row as an "rwr-bench-v1"
-// document (sim_rmr group) -- the deterministic half of the perf
-// trajectory, diffable with bench_compare (RMR counts are exact, so any
-// delta is a real protocol change, not noise).
+// flat as n grows. The grid tops out at n = 4096 -- within reach since the
+// engine overhaul (allocation-free stepping + maintained runnable index);
+// independent (protocol, n, f) cells run on a thread pool (--jobs N).
+//
+// Flags:
+//   --json <path>  additionally emits every sweep row as an "rwr-bench-v1"
+//                  document: sim_rmr (exact, deterministic -- any delta is
+//                  a real protocol change) plus sim_perf {steps, wall_ms,
+//                  steps_per_sec} (engine speed; gated by bench_compare
+//                  --max-perf-drop with a wide tolerance).
+//   --jobs N       worker threads (default: hardware concurrency). Cell
+//                  results are bit-identical for every N.
+//   --max-n N      truncate the sweep (CI perf-smoke uses --max-n 256).
 #include <bit>
 #include <cstdint>
 #include <cstring>
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/af_params.hpp"
 #include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/table.hpp"
 
 namespace {
@@ -30,14 +40,35 @@ double log2_of(std::uint32_t x) {
     return x <= 1 ? 1.0 : static_cast<double>(std::bit_width(x - 1));
 }
 
-void json_row(json::Value* results, Protocol proto,
-              const ExperimentConfig& cfg, const ExperimentResult& res) {
+struct Cell {
+    Protocol proto;
+    std::uint32_t n;
+    core::FChoice choice;
+    std::uint32_t f;
+};
+
+ExperimentConfig config_for(const Cell& c) {
+    ExperimentConfig cfg;
+    cfg.lock = LockKind::Af;
+    cfg.protocol = c.proto;
+    cfg.n = c.n;
+    cfg.m = 1;
+    cfg.f = c.f;
+    cfg.passages = 2;
+    cfg.sched = SchedKind::RoundRobin;
+    cfg.check_mutual_exclusion = false;  // Speed; correctness is covered by
+                                         // the test suite.
+    return cfg;
+}
+
+void json_row(json::Value* results, const Cell& c, const ExperimentConfig& cfg,
+              const ExperimentResult& res) {
     if (results == nullptr) {
         return;
     }
     auto row = json::Value::object();
     row.set("lock", "af");
-    row.set("protocol", to_string(proto));
+    row.set("protocol", to_string(c.proto));
     row.set("n", cfg.n);
     row.set("m", cfg.m);
     row.set("f", cfg.f);
@@ -48,80 +79,87 @@ void json_row(json::Value* results, Protocol proto,
     rmr.set("writer_mean_passage", res.writers.mean_passage_rmrs);
     rmr.set("writer_max_passage", res.writers.max_passage_rmrs);
     row.set("sim_rmr", std::move(rmr));
+    auto perf = json::Value::object();
+    perf.set("steps", res.steps);
+    perf.set("wall_ms", res.wall_ms);
+    perf.set("steps_per_sec",
+             res.wall_ms > 0 ? static_cast<double>(res.steps) /
+                                   (res.wall_ms / 1000.0)
+                             : 0.0);
+    row.set("sim_perf", std::move(perf));
     results->push_back(std::move(row));
 }
 
-void run_protocol(Protocol proto, json::Value* results) {
-    std::cout << "\n=== E1: A_f passage RMRs, protocol = " << to_string(proto)
-              << " ===\n"
-              << "(reader prediction: log2(K); writer prediction: f; ratios "
-                 "must stay flat in n)\n";
-    Table t({"n", "f(n)", "f", "K", "rd mean", "rd max", "rd/logK",
-             "wr mean", "wr max", "wr/f"});
-    for (const std::uint32_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u, 1024u}) {
-        for (const auto choice :
-             {core::FChoice::One, core::FChoice::Log, core::FChoice::Sqrt,
-              core::FChoice::Linear}) {
-            const std::uint32_t f = core::f_of(choice, n);
-            ExperimentConfig cfg;
-            cfg.lock = LockKind::Af;
-            cfg.protocol = proto;
-            cfg.n = n;
-            cfg.m = 1;
-            cfg.f = f;
-            cfg.passages = 2;
-            cfg.sched = SchedKind::RoundRobin;
-            cfg.check_mutual_exclusion = false;  // Speed; correctness is
-                                                 // covered by the test suite.
-            const auto res = run_experiment(cfg);
-            if (!res.finished) {
-                std::cerr << "experiment did not finish: n=" << n
-                          << " f=" << f << "\n";
+void run_sweep(std::uint32_t max_n, unsigned jobs, json::Value* results) {
+    std::vector<Cell> cells;
+    std::vector<ExperimentConfig> cfgs;
+    for (const Protocol proto :
+         {Protocol::WriteThrough, Protocol::WriteBack}) {
+        for (const std::uint32_t n : {8u, 16u, 32u, 64u, 128u, 256u, 512u,
+                                      1024u, 2048u, 4096u}) {
+            if (n > max_n) {
                 continue;
             }
-            json_row(results, proto, cfg, res);
-            const std::uint32_t K = (n + f - 1) / f;
-            const double rd_pred = log2_of(K);
-            const double wr_pred = static_cast<double>(f);
-            t.row({fmt(n), to_string(choice), fmt(f), fmt(K),
-                   fmt(res.readers.mean_passage_rmrs),
-                   fmt(res.readers.max_passage_rmrs),
-                   fmt(res.readers.mean_passage_rmrs / rd_pred, 2),
-                   fmt(res.writers.mean_passage_rmrs),
-                   fmt(res.writers.max_passage_rmrs),
-                   fmt(res.writers.mean_passage_rmrs / wr_pred, 2)});
+            for (const auto choice :
+                 {core::FChoice::One, core::FChoice::Log, core::FChoice::Sqrt,
+                  core::FChoice::Linear}) {
+                cells.push_back({proto, n, choice, core::f_of(choice, n)});
+                cfgs.push_back(config_for(cells.back()));
+            }
         }
     }
-    t.print();
+    const auto res = run_experiments(cfgs, jobs);
+
+    for (const Protocol proto :
+         {Protocol::WriteThrough, Protocol::WriteBack}) {
+        std::cout << "\n=== E1: A_f passage RMRs, protocol = "
+                  << to_string(proto) << " ===\n"
+                  << "(reader prediction: log2(K); writer prediction: f; "
+                     "ratios must stay flat in n)\n";
+        Table t({"n", "f(n)", "f", "K", "rd mean", "rd max", "rd/logK",
+                 "wr mean", "wr max", "wr/f", "Msteps/s"});
+        for (std::size_t i = 0; i < cells.size(); ++i) {
+            if (cells[i].proto != proto) {
+                continue;
+            }
+            const Cell& c = cells[i];
+            const ExperimentResult& r = res[i];
+            if (!r.finished) {
+                std::cerr << "experiment did not finish: n=" << c.n
+                          << " f=" << c.f << "\n";
+                continue;
+            }
+            json_row(results, c, cfgs[i], r);
+            const std::uint32_t K = (c.n + c.f - 1) / c.f;
+            const double rd_pred = log2_of(K);
+            const double wr_pred = static_cast<double>(c.f);
+            const double msteps =
+                r.wall_ms > 0 ? static_cast<double>(r.steps) /
+                                    (r.wall_ms * 1000.0)
+                              : 0.0;
+            t.row({fmt(c.n), to_string(c.choice), fmt(c.f), fmt(K),
+                   fmt(r.readers.mean_passage_rmrs),
+                   fmt(r.readers.max_passage_rmrs),
+                   fmt(r.readers.mean_passage_rmrs / rd_pred, 2),
+                   fmt(r.writers.mean_passage_rmrs),
+                   fmt(r.writers.max_passage_rmrs),
+                   fmt(r.writers.mean_passage_rmrs / wr_pred, 2),
+                   fmt(msteps, 1)});
+        }
+        t.print();
+    }
 }
 
-}  // namespace
-
-int main(int argc, char** argv) {
-    std::string json_path;
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
-            json_path = argv[++i];
-        }
-    }
-    auto doc = bench::make_doc("tradeoff");
-    json::Value* results = nullptr;
-    if (!json_path.empty()) {
-        results = &doc.set("results", json::Value::array());
-    }
-
-    std::cout << "bench_tradeoff: reproduces the paper's Theorem 18 "
-                 "complexity claims for the A_f family\n";
-    run_protocol(Protocol::WriteThrough, results);
-    run_protocol(Protocol::WriteBack, results);
-
+void run_rounding_ablation(unsigned jobs) {
     // Group-size rounding ablation (DESIGN.md §6): K = ceil(n/f) leaves
     // some groups partially filled when f does not divide n; show the
     // constants are unaffected.
     std::cout << "\n=== E1b: rounding ablation (n not divisible by f) ===\n";
-    Table t({"n", "f", "K", "groups", "rd mean", "wr mean"});
+    std::vector<std::pair<std::uint32_t, std::uint32_t>> nf;
+    std::vector<ExperimentConfig> cfgs;
     for (const std::uint32_t n : {100u, 321u, 1000u}) {
         for (const std::uint32_t f : {3u, 7u, 13u}) {
+            nf.emplace_back(n, f);
             ExperimentConfig cfg;
             cfg.lock = LockKind::Af;
             cfg.n = n;
@@ -130,14 +168,45 @@ int main(int argc, char** argv) {
             cfg.passages = 2;
             cfg.sched = SchedKind::RoundRobin;
             cfg.check_mutual_exclusion = false;
-            const auto res = run_experiment(cfg);
-            const std::uint32_t K = (n + f - 1) / f;
-            t.row({fmt(n), fmt(f), fmt(K), fmt((n + K - 1) / K),
-                   fmt(res.readers.mean_passage_rmrs),
-                   fmt(res.writers.mean_passage_rmrs)});
+            cfgs.push_back(cfg);
         }
     }
+    const auto res = run_experiments(cfgs, jobs);
+    Table t({"n", "f", "K", "groups", "rd mean", "wr mean"});
+    for (std::size_t i = 0; i < nf.size(); ++i) {
+        const auto [n, f] = nf[i];
+        const std::uint32_t K = (n + f - 1) / f;
+        t.row({fmt(n), fmt(f), fmt(K), fmt((n + K - 1) / K),
+               fmt(res[i].readers.mean_passage_rmrs),
+               fmt(res[i].writers.mean_passage_rmrs)});
+    }
     t.print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::uint32_t max_n = 4096;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
+            max_n = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        }
+    }
+    const unsigned jobs = parse_jobs(argc, argv);
+    auto doc = bench::make_doc("tradeoff");
+    json::Value* results = nullptr;
+    if (!json_path.empty()) {
+        results = &doc.set("results", json::Value::array());
+    }
+
+    std::cout << "bench_tradeoff: reproduces the paper's Theorem 18 "
+                 "complexity claims for the A_f family (jobs="
+              << jobs << ", max n=" << max_n << ")\n";
+    run_sweep(max_n, jobs, results);
+    run_rounding_ablation(jobs);
 
     if (results != nullptr) {
         try {

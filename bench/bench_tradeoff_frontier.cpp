@@ -9,12 +9,18 @@
 // Also checks Corollary 7's max(log n, log m) form: for each lock the
 // total passage RMR (max of reader and writer) is compared against
 // log2(max(n, m)).
+//
+// Adversary constructions and contended runs are independent cells; both
+// phases run on the parallel sweep runner (--jobs N).
 #include <bit>
 #include <cmath>
 #include <iostream>
+#include <string>
+#include <vector>
 
 #include "adversary/adversary.hpp"
 #include "harness/experiment.hpp"
+#include "harness/parallel.hpp"
 #include "harness/table.hpp"
 
 namespace {
@@ -22,25 +28,27 @@ namespace {
 using namespace rwr;
 using namespace rwr::harness;
 
-void frontier_row(Table& t, const std::string& label, LockKind kind,
-                  std::uint32_t n, std::uint32_t f) {
+struct FrontierCell {
+    std::string label;
     adversary::AdversaryConfig cfg;
-    cfg.lock = kind;
-    cfg.n = n;
-    cfg.f = f;
-    const auto res = adversary::run_adversary(cfg);
+    adversary::AdversaryResult res;
+};
+
+void frontier_row(Table& t, const FrontierCell& c) {
+    const auto& res = c.res;
     if (!res.completed) {
-        t.row({label, fmt(n), "-", "-", "-", "-", res.note.substr(0, 30)});
+        t.row({c.label, fmt(c.cfg.n), "-", "-", "-", "-",
+               res.note.substr(0, 30)});
         return;
     }
     const double curve =
-        std::log(static_cast<double>(n) /
+        std::log(static_cast<double>(c.cfg.n) /
                  std::max<double>(1.0, static_cast<double>(
                                            res.writer_entry_rmrs))) /
         std::log(3.0);
     const bool above = static_cast<double>(res.max_reader_exit_rmrs) >=
                        curve - 1.0;
-    t.row({label, fmt(n), fmt(res.writer_entry_rmrs),
+    t.row({c.label, fmt(c.cfg.n), fmt(res.writer_entry_rmrs),
            fmt(res.max_reader_exit_rmrs), fmt(std::max(0.0, curve), 2),
            above ? "yes" : "NO",
            above ? "" : "<-- would contradict Theorem 5"});
@@ -48,23 +56,44 @@ void frontier_row(Table& t, const std::string& label, LockKind kind,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+    const unsigned jobs = parse_jobs(argc, argv);
     std::cout << "bench_tradeoff_frontier: every lock against the curve "
-                 "reader-exit >= log3(n / writer-entry)\n";
+                 "reader-exit >= log3(n / writer-entry) (jobs="
+              << jobs << ")\n";
 
+    std::vector<FrontierCell> cells;
+    auto add = [&cells](const std::string& label, LockKind kind,
+                        std::uint32_t n, std::uint32_t f) {
+        adversary::AdversaryConfig cfg;
+        cfg.lock = kind;
+        cfg.n = n;
+        cfg.f = f;
+        cells.push_back({label, cfg, {}});
+    };
     for (const std::uint32_t n : {64u, 256u, 1024u}) {
-        std::cout << "\n=== E3: frontier at n = " << n << " (write-back) ===\n";
-        Table t({"lock", "n", "wr entry", "rd exit", "log3 curve",
-                 "on/above?", "note"});
         for (const std::uint32_t f : {1u, 4u, 16u, 64u}) {
             if (f <= n) {
-                frontier_row(t, "A_f(f=" + std::to_string(f) + ")",
-                             LockKind::Af, n, f);
+                add("A_f(f=" + std::to_string(f) + ")", LockKind::Af, n, f);
             }
         }
-        frontier_row(t, "centralized", LockKind::Centralized, n, 1);
-        frontier_row(t, "reader-pref", LockKind::ReaderPref, n, 1);
-        frontier_row(t, "faa (non-CAS!)", LockKind::Faa, n, 1);
+        add("centralized", LockKind::Centralized, n, 1);
+        add("reader-pref", LockKind::ReaderPref, n, 1);
+        add("faa (non-CAS!)", LockKind::Faa, n, 1);
+    }
+    parallel_for(cells.size(), jobs, [&](std::size_t i) {
+        cells[i].res = adversary::run_adversary(cells[i].cfg);
+    });
+
+    std::size_t i = 0;
+    for (const std::uint32_t n : {64u, 256u, 1024u}) {
+        std::cout << "\n=== E3: frontier at n = " << n
+                  << " (write-back) ===\n";
+        Table t({"lock", "n", "wr entry", "rd exit", "log3 curve",
+                 "on/above?", "note"});
+        for (; i < cells.size() && cells[i].cfg.n == n; ++i) {
+            frontier_row(t, cells[i]);
+        }
         t.print();
     }
 
@@ -72,27 +101,33 @@ int main() {
                  "===\n"
               << "(fair round-robin contended run; every CAS-only lock's "
                  "worst passage must exceed c * log2(max(n,m)))\n";
-    Table t({"lock", "n", "m", "rd passage max", "wr passage max",
-             "log2(max(n,m))"});
+    std::vector<std::pair<LockKind, std::uint32_t>> e3b_cells;
+    std::vector<ExperimentConfig> cfgs;
     for (const LockKind kind :
          {LockKind::Af, LockKind::Centralized, LockKind::ReaderPref}) {
         for (const std::uint32_t n : {16u, 64u, 256u}) {
-            const std::uint32_t m = 8;
+            e3b_cells.emplace_back(kind, n);
             ExperimentConfig cfg;
             cfg.lock = kind;
             cfg.n = n;
-            cfg.m = m;
+            cfg.m = 8;
             cfg.f = static_cast<std::uint32_t>(std::sqrt(n));
             cfg.passages = 2;
             cfg.sched = SchedKind::RoundRobin;
             cfg.check_mutual_exclusion = false;
-            const auto res = run_experiment(cfg);
-            t.row({to_string(kind), fmt(n), fmt(m),
-                   fmt(res.readers.max_passage_rmrs),
-                   fmt(res.writers.max_passage_rmrs),
-                   fmt(static_cast<std::uint64_t>(
-                       std::bit_width(std::max(n, m)) - 1))});
+            cfgs.push_back(cfg);
         }
+    }
+    const auto res = run_experiments(cfgs, jobs);
+    Table t({"lock", "n", "m", "rd passage max", "wr passage max",
+             "log2(max(n,m))"});
+    for (std::size_t j = 0; j < e3b_cells.size(); ++j) {
+        const auto [kind, n] = e3b_cells[j];
+        t.row({to_string(kind), fmt(n), fmt(8u),
+               fmt(res[j].readers.max_passage_rmrs),
+               fmt(res[j].writers.max_passage_rmrs),
+               fmt(static_cast<std::uint64_t>(
+                   std::bit_width(std::max(n, 8u)) - 1))});
     }
     t.print();
     return 0;

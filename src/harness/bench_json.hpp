@@ -10,12 +10,17 @@
 //                    "latency_ns"?   { <histo>: {p50,p90,p99,max} },
 //                    "telemetry"?    { <counter>: u64 },
 //                    "sim_rmr"?      { reader_mean_passage, reader_max_passage,
-//                                      writer_mean_passage, writer_max_passage } } ]
+//                                      writer_mean_passage, writer_max_passage },
+//                    "sim_perf"?     { steps, wall_ms, steps_per_sec } } ]
 //   }
 //
-// A row must carry at least one payload group (throughput_ops or sim_rmr);
-// validate() enforces exactly this and is shared by the writers (so a
-// binary can never emit an invalid file) and by `bench_compare --check`.
+// A row must carry at least one payload group (throughput_ops, sim_rmr or
+// sim_perf); validate() enforces exactly this and is shared by the writers
+// (so a binary can never emit an invalid file) and by `bench_compare
+// --check`. sim_rmr counts are exact (any diff is a protocol change);
+// sim_perf.steps is exact too, but wall_ms / steps_per_sec are wall-clock
+// and machine-dependent -- bench_compare gates them with a much wider
+// tolerance (--max-perf-drop) than the sim-RMR gate.
 #pragma once
 
 #include <fstream>
@@ -102,9 +107,10 @@ inline void validate(const json::Value& doc) {
         }
         const auto* tput = row.find("throughput_ops");
         const auto* rmr = row.find("sim_rmr");
-        if (tput == nullptr && rmr == nullptr) {
+        const auto* perf = row.find("sim_perf");
+        if (tput == nullptr && rmr == nullptr && perf == nullptr) {
             throw std::runtime_error(
-                at + "carries neither throughput_ops nor sim_rmr");
+                at + "carries none of throughput_ops / sim_rmr / sim_perf");
         }
         if (tput != nullptr && !tput->is_number()) {
             throw std::runtime_error(at + "throughput_ops not numeric");
@@ -119,6 +125,18 @@ inline void validate(const json::Value& doc) {
                 if (v == nullptr || !v->is_number()) {
                     throw std::runtime_error(at + "sim_rmr lacks \"" +
                                              key + "\"");
+                }
+            }
+        }
+        if (perf != nullptr) {
+            if (perf->type() != json::Value::Type::Object) {
+                throw std::runtime_error(at + "sim_perf not an object");
+            }
+            for (const char* key : {"steps", "wall_ms", "steps_per_sec"}) {
+                const auto* v = perf->find(key);
+                if (v == nullptr || !v->is_number()) {
+                    throw std::runtime_error(at + "sim_perf lacks \"" + key +
+                                             "\"");
                 }
             }
         }

@@ -125,6 +125,7 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     constexpr std::uint64_t kChunk = 65536;
     std::uint64_t remaining = cfg.max_steps;
     bool finished = false;
+    const auto sim_start = std::chrono::steady_clock::now();
     while (remaining > 0) {
         const std::uint64_t chunk = std::min(remaining, kChunk);
         const auto rr = sim::run(*b.sys, *active, chunk);
@@ -143,6 +144,9 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
             break;
         }
     }
+    res.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - sim_start)
+                      .count();
     b.sys->check_failures();
 
     res.finished = finished;

@@ -73,6 +73,9 @@ struct RoleStats {
 struct ExperimentResult {
     bool finished = false;
     std::uint64_t steps = 0;
+    /// Wall time of the simulation loop (excludes system construction).
+    /// Feeds the sim_perf JSON rows: steps_per_sec = steps / (wall_ms/1e3).
+    double wall_ms = 0;
     RoleStats readers;
     RoleStats writers;
     std::uint32_t max_concurrent_readers = 0;

@@ -1,0 +1,38 @@
+// Parallel sweep runner for independent experiment cells.
+//
+// Every (lock, protocol, n, m, f, seed) cell of a bench grid owns a private
+// Memory + System (built inside run_experiment), so cells are embarrassingly
+// parallel: a fixed-size std::thread pool pulls cell indices from an atomic
+// counter. Determinism: which worker executes a cell cannot influence that
+// cell's result -- the simulation is single-threaded within the cell and all
+// randomness comes from the per-cell seed -- so per-cell results are
+// bit-identical for any --jobs value (test_parallel.cpp proves it for
+// jobs=1 vs jobs=8, including recorded schedules).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "harness/experiment.hpp"
+
+namespace rwr::harness {
+
+/// Worker count meaning "use every hardware thread".
+[[nodiscard]] unsigned default_jobs();
+
+/// Extracts `--jobs N` from the command line (0 or absent -> default_jobs()).
+[[nodiscard]] unsigned parse_jobs(int argc, char** argv);
+
+/// Runs fn(i) for every i in [0, count) on (up to) `jobs` worker threads.
+/// Blocks until all cells ran. The first exception thrown by any cell stops
+/// the dispatch of further cells and is rethrown here after the pool joins.
+void parallel_for(std::size_t count, unsigned jobs,
+                  const std::function<void(std::size_t)>& fn);
+
+/// Runs one experiment per config on the pool; results come back in config
+/// order regardless of completion order or thread count.
+[[nodiscard]] std::vector<ExperimentResult> run_experiments(
+    const std::vector<ExperimentConfig>& cfgs, unsigned jobs);
+
+}  // namespace rwr::harness

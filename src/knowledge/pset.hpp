@@ -4,78 +4,16 @@
 // range over the fixed process universe P = {R_1..R_n, W_1..W_m}, so a flat
 // bitset with popcount is the natural representation; the adversary performs
 // millions of subset/union operations on these.
+//
+// The representation is the shared rwr::ProcBitset (rmr/proc_bitset.hpp),
+// which also backs the CC cache directory -- one bit-twiddling
+// implementation, two subsystems.
 #pragma once
 
-#include <bit>
-#include <cstddef>
-#include <cstdint>
-#include <vector>
-
-#include "rmr/types.hpp"
+#include "rmr/proc_bitset.hpp"
 
 namespace rwr::knowledge {
 
-class PSet {
-   public:
-    PSet() = default;
-    explicit PSet(std::size_t universe)
-        : universe_(universe), words_((universe + 63) / 64, 0) {}
-
-    [[nodiscard]] std::size_t universe() const { return universe_; }
-
-    void set(ProcId p) { words_[p >> 6] |= (std::uint64_t{1} << (p & 63)); }
-
-    [[nodiscard]] bool test(ProcId p) const {
-        return (words_[p >> 6] >> (p & 63)) & 1;
-    }
-
-    void clear() {
-        for (auto& w : words_) {
-            w = 0;
-        }
-    }
-
-    [[nodiscard]] std::size_t count() const {
-        std::size_t c = 0;
-        for (auto w : words_) {
-            c += static_cast<std::size_t>(std::popcount(w));
-        }
-        return c;
-    }
-
-    [[nodiscard]] bool empty() const {
-        for (auto w : words_) {
-            if (w != 0) {
-                return false;
-            }
-        }
-        return true;
-    }
-
-    PSet& operator|=(const PSet& o) {
-        for (std::size_t i = 0; i < words_.size(); ++i) {
-            words_[i] |= o.words_[i];
-        }
-        return *this;
-    }
-
-    /// this ⊆ o ?
-    [[nodiscard]] bool subset_of(const PSet& o) const {
-        for (std::size_t i = 0; i < words_.size(); ++i) {
-            if ((words_[i] & ~o.words_[i]) != 0) {
-                return false;
-            }
-        }
-        return true;
-    }
-
-    friend bool operator==(const PSet& a, const PSet& b) {
-        return a.words_ == b.words_;
-    }
-
-   private:
-    std::size_t universe_ = 0;
-    std::vector<std::uint64_t> words_;
-};
+using PSet = rwr::ProcBitset;
 
 }  // namespace rwr::knowledge

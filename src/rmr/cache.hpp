@@ -19,14 +19,16 @@
 //   cached copy of v held in exclusive mode."
 //
 // We keep, per variable, the set of processes holding a valid copy plus (for
-// write-back) the identity of an exclusive holder if any. This directory
-// representation makes "invalidate all other copies" O(#holders), which
-// amortizes against the RMRs that created those copies.
+// write-back) the identity of an exclusive holder if any. The sharer set is a
+// rwr::ProcBitset (rmr/proc_bitset.hpp): holds/insert are O(1) word ops and
+// "invalidate all other copies" is a word-wise sweep over the touched words,
+// which amortizes against the RMRs that created those copies. A sharer count
+// is carried alongside so num_holders() needs no popcount sweep.
 #pragma once
 
 #include <cstddef>
-#include <unordered_set>
 
+#include "rmr/proc_bitset.hpp"
 #include "rmr/types.hpp"
 
 namespace rwr {
@@ -35,7 +37,7 @@ class CacheDirectory {
    public:
     /// Does `p` hold a valid copy (any mode)?
     [[nodiscard]] bool holds(ProcId p) const {
-        return exclusive_ == p || sharers_.contains(p);
+        return exclusive_ == p || sharers_.test(p);
     }
 
     /// Does `p` hold the copy in exclusive mode (write-back only)?
@@ -44,20 +46,28 @@ class CacheDirectory {
     [[nodiscard]] bool has_exclusive() const { return exclusive_ != kNone; }
 
     [[nodiscard]] std::size_t num_holders() const {
-        return sharers_.size() + (has_exclusive() ? 1 : 0);
+        return num_sharers_ + (has_exclusive() ? 1 : 0);
     }
 
+    /// Does `p` hold a copy in shared (non-exclusive) mode?
+    [[nodiscard]] bool holds_shared(ProcId p) const { return sharers_.test(p); }
+
     /// Read miss, write-through: p gains a valid (shared) copy.
-    void add_shared(ProcId p) { sharers_.insert(p); }
+    void add_shared(ProcId p) {
+        if (!sharers_.test(p)) {
+            sharers_.set(p);
+            ++num_sharers_;
+        }
+    }
 
     /// Read miss, write-back: downgrade any exclusive holder to shared and
     /// add p as a sharer.
     void downgrade_and_share(ProcId p) {
         if (exclusive_ != kNone) {
-            sharers_.insert(exclusive_);
+            add_shared(exclusive_);
             exclusive_ = kNone;
         }
-        sharers_.insert(p);
+        add_shared(p);
     }
 
     /// Write, write-through: "invalidates all OTHER cached copies of v and
@@ -69,28 +79,32 @@ class CacheDirectory {
     /// ("every expanding step incurs an RMR") sound.
     void invalidate_others(ProcId p) {
         const bool writer_had_copy = holds(p);
-        sharers_.clear();
-        exclusive_ = kNone;
+        clear();
         if (writer_had_copy) {
-            sharers_.insert(p);
+            sharers_.set(p);
+            num_sharers_ = 1;
         }
     }
 
     /// Write miss, write-back: invalidate everything, p becomes exclusive.
     void invalidate_others_make_exclusive(ProcId p) {
-        sharers_.clear();
+        clear();
         exclusive_ = p;
     }
 
     void clear() {
-        sharers_.clear();
+        if (num_sharers_ != 0) {
+            sharers_.clear();
+            num_sharers_ = 0;
+        }
         exclusive_ = kNone;
     }
 
    private:
     static constexpr ProcId kNone = static_cast<ProcId>(-1);
 
-    std::unordered_set<ProcId> sharers_;
+    ProcBitset sharers_;
+    std::size_t num_sharers_ = 0;
     ProcId exclusive_ = kNone;
 };
 

@@ -33,14 +33,21 @@ class Memory {
 
     /// Re-homes a variable for the DSM model.
     void set_owner(VarId v, ProcId owner) { owners_.at(v.index) = owner; }
-    [[nodiscard]] ProcId owner(VarId v) const { return owners_.at(v.index); }
+    [[nodiscard]] ProcId owner(VarId v) const {
+        assert(v.index < owners_.size());
+        return owners_[v.index];
+    }
 
     /// Executes one step. Local ops are rejected here (they never reach the
     /// memory); the caller handles them.
     OpResult apply(ProcId p, const Op& op);
 
     /// Peek at a variable without simulating a step (for checkers/tests).
-    [[nodiscard]] Word peek(VarId v) const { return values_.at(v.index); }
+    /// Hot for the simulated counters; bounds-checked in debug builds only.
+    [[nodiscard]] Word peek(VarId v) const {
+        assert(v.index < values_.size());
+        return values_[v.index];
+    }
 
     /// Directly set a variable without simulating a step (test setup only).
     void poke(VarId v, Word value) { values_.at(v.index) = value; }
@@ -52,10 +59,12 @@ class Memory {
     }
 
     [[nodiscard]] bool cached(ProcId p, VarId v) const {
-        return dirs_.at(v.index).holds(p);
+        assert(v.index < dirs_.size());
+        return dirs_[v.index].holds(p);
     }
     [[nodiscard]] bool cached_exclusive(ProcId p, VarId v) const {
-        return dirs_.at(v.index).holds_exclusive(p);
+        assert(v.index < dirs_.size());
+        return dirs_[v.index].holds_exclusive(p);
     }
 
     /// Total RMRs incurred by all processes since construction.

@@ -1,0 +1,139 @@
+// Fixed-universe process sets as flat bitsets.
+//
+// Shared by the two subsystems that perform set operations over the process
+// universe P = {R_1..R_n, W_1..W_m} on hot paths:
+//   * rmr::CacheDirectory -- the per-variable sharer set of the CC coherence
+//     protocols (holds / insert are single word ops; "invalidate all other
+//     copies" is a word-wise sweep), and
+//   * knowledge::PSet -- awareness sets AW(p) and familiarity sets F(v)
+//     (paper Definitions 1-2), on which the adversary performs millions of
+//     subset/union operations.
+//
+// The word storage grows on demand (capacity doubles in whole words), so a
+// default-constructed set is 24 bytes until a bit is actually set -- Memory
+// keeps one CacheDirectory per shared variable and most variables are only
+// ever touched by a handful of processes.
+#pragma once
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "rmr/types.hpp"
+
+namespace rwr {
+
+class ProcBitset {
+   public:
+    ProcBitset() = default;
+    /// Pre-sizes the storage for ids in [0, universe). Ids beyond the
+    /// universe still work (the storage grows), so the universe is a
+    /// capacity hint plus bookkeeping for universe()-based callers.
+    explicit ProcBitset(std::size_t universe)
+        : universe_(universe), words_((universe + 63) / 64, 0) {}
+
+    [[nodiscard]] std::size_t universe() const { return universe_; }
+
+    void set(ProcId p) {
+        const std::size_t w = p >> 6;
+        if (w >= words_.size()) {
+            words_.resize(w + 1, 0);
+        }
+        words_[w] |= (std::uint64_t{1} << (p & 63));
+    }
+
+    void reset(ProcId p) {
+        const std::size_t w = p >> 6;
+        if (w < words_.size()) {
+            words_[w] &= ~(std::uint64_t{1} << (p & 63));
+        }
+    }
+
+    [[nodiscard]] bool test(ProcId p) const {
+        const std::size_t w = p >> 6;
+        return w < words_.size() && ((words_[w] >> (p & 63)) & 1);
+    }
+
+    /// Clears every bit; keeps the storage (hot path: directory
+    /// invalidation reuses the same words next time).
+    void clear() {
+        for (auto& w : words_) {
+            w = 0;
+        }
+    }
+
+    [[nodiscard]] std::size_t count() const {
+        std::size_t c = 0;
+        for (auto w : words_) {
+            c += static_cast<std::size_t>(std::popcount(w));
+        }
+        return c;
+    }
+
+    [[nodiscard]] bool empty() const {
+        for (auto w : words_) {
+            if (w != 0) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    ProcBitset& operator|=(const ProcBitset& o) {
+        if (o.words_.size() > words_.size()) {
+            words_.resize(o.words_.size(), 0);
+        }
+        for (std::size_t i = 0; i < o.words_.size(); ++i) {
+            words_[i] |= o.words_[i];
+        }
+        return *this;
+    }
+
+    /// this subset-of o ?
+    [[nodiscard]] bool subset_of(const ProcBitset& o) const {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            const std::uint64_t theirs = i < o.words_.size() ? o.words_[i] : 0;
+            if ((words_[i] & ~theirs) != 0) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+    /// Calls fn(ProcId) for every set bit, in increasing id order.
+    template <typename Fn>
+    void for_each(Fn&& fn) const {
+        for (std::size_t i = 0; i < words_.size(); ++i) {
+            std::uint64_t w = words_[i];
+            while (w != 0) {
+                const int b = std::countr_zero(w);
+                fn(static_cast<ProcId>(i * 64 + static_cast<std::size_t>(b)));
+                w &= w - 1;
+            }
+        }
+    }
+
+    friend bool operator==(const ProcBitset& a, const ProcBitset& b) {
+        // Storage sizes may differ (grow-on-demand); compare set bits.
+        const std::size_t common = std::min(a.words_.size(), b.words_.size());
+        for (std::size_t i = 0; i < common; ++i) {
+            if (a.words_[i] != b.words_[i]) {
+                return false;
+            }
+        }
+        const auto& longer = a.words_.size() > b.words_.size() ? a : b;
+        for (std::size_t i = common; i < longer.words_.size(); ++i) {
+            if (longer.words_[i] != 0) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+   private:
+    std::size_t universe_ = 0;
+    std::vector<std::uint64_t> words_;
+};
+
+}  // namespace rwr

@@ -22,20 +22,19 @@ ReplayOutcome replay(const ScenarioFactory& factory,
     Scenario sc = factory();
     System& sys = *sc.sys;
     sys.start_all();
+    const std::vector<ProcId>& runnable = sys.runnable();
     try {
         for (const std::size_t choice : choices) {
-            const auto runnable = sys.runnable();
             if (runnable.empty()) {
                 out.finished = sys.all_finished();
                 return out;
             }
             sys.step(runnable[choice % runnable.size()]);
         }
-        out.branch_width = sys.runnable().size();
+        out.branch_width = runnable.size();
         RoundRobinScheduler rr;
         std::uint64_t steps = 0;
         while (steps < finish_budget) {
-            const auto runnable = sys.runnable();
             if (runnable.empty()) {
                 break;
             }

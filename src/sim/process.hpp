@@ -30,6 +30,20 @@ enum class Role : std::uint8_t { Reader, Writer };
     return r == Role::Reader ? "reader" : "writer";
 }
 
+class Process;
+
+/// Observer of per-process lifecycle transitions (start, step completion,
+/// crash, stall). The System registers itself here so it can maintain its
+/// runnable index and finished/crashed counters incrementally instead of
+/// rescanning every process per executed step.
+class ProcessStateListener {
+   public:
+    virtual void on_process_state_changed(const Process& p) = 0;
+
+   protected:
+    ~ProcessStateListener() = default;
+};
+
 class Process {
    public:
     Process(ProcId id, Role role, std::uint32_t role_index)
@@ -48,6 +62,12 @@ class Process {
 
     void set_task(SimTask<void> task) { task_ = std::move(task); }
 
+    /// Registers the (single) lifecycle listener; the System installs
+    /// itself in add_process(). Null is allowed (standalone Process tests).
+    void set_state_listener(ProcessStateListener* listener) {
+        listener_ = listener;
+    }
+
     /// Resume until the first pending op (or completion). Idempotent.
     void start() {
         if (started_ || !task_.valid()) {
@@ -56,6 +76,7 @@ class Process {
         started_ = true;
         resume_point_ = task_.handle();
         resume();
+        notify();
     }
 
     [[nodiscard]] bool started() const { return started_; }
@@ -69,9 +90,15 @@ class Process {
     // literature, minus recovery). A stalled process is paused until the
     // injector resumes it.
 
-    void crash() { crashed_ = true; }
+    void crash() {
+        crashed_ = true;
+        notify();
+    }
     [[nodiscard]] bool crashed() const { return crashed_; }
-    void set_stalled(bool stalled) { stalled_ = stalled; }
+    void set_stalled(bool stalled) {
+        stalled_ = stalled;
+        notify();
+    }
     [[nodiscard]] bool stalled() const { return stalled_; }
 
     [[nodiscard]] bool runnable() const {
@@ -92,6 +119,7 @@ class Process {
         op_result_ = result;
         stats_.record(section_, result.rmr);
         resume();
+        notify();
     }
 
     // ---- Section / passage bookkeeping ----------------------------------
@@ -137,6 +165,12 @@ class Process {
     [[nodiscard]] OpAwaiter local_step() { return {*this, Op::local()}; }
 
    private:
+    void notify() {
+        if (listener_ != nullptr) {
+            listener_->on_process_state_changed(*this);
+        }
+    }
+
     void resume() {
         assert(resume_point_);
         auto h = resume_point_;
@@ -152,6 +186,7 @@ class Process {
     ProcId id_;
     Role role_;
     std::uint32_t role_index_;
+    ProcessStateListener* listener_ = nullptr;
 
     SimTask<void> task_;
     bool started_ = false;

@@ -83,8 +83,10 @@ ProcId ReplayScheduler::pick(const System& sys,
 RunResult run(System& sys, Scheduler& sched, std::uint64_t max_steps) {
     sys.start_all();
     RunResult result;
+    // The maintained runnable index is stable across iterations; pick()
+    // completes before step() mutates it, so no per-step copy is needed.
+    const std::vector<ProcId>& runnable = sys.runnable();
     while (result.steps < max_steps) {
-        const auto runnable = sys.runnable();
         if (runnable.empty()) {
             break;
         }

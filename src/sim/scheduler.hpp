@@ -16,7 +16,10 @@ namespace rwr::sim {
 class Scheduler {
    public:
     virtual ~Scheduler() = default;
-    /// Picks the next process from the (non-empty) runnable set.
+    /// Picks the next process from the (non-empty) runnable set. `runnable`
+    /// is the System's maintained index (sorted by pid), passed by
+    /// reference with no per-call copy; it is stable for the duration of
+    /// pick() -- it only changes when a step executes.
     virtual ProcId pick(const System& sys,
                         const std::vector<ProcId>& runnable) = 0;
 };

@@ -1,0 +1,362 @@
+// ProcBitset + CacheDirectory: the bitset-backed cache directory that
+// replaced the unordered_set sharer sets.
+//
+// Three layers:
+//   1. ProcBitset semantics (grow-on-demand storage, word ops, iteration).
+//   2. CacheDirectory transitions, i.e. the Golab et al. protocol rules
+//      (quoted in rmr/cache.hpp) exercised directly at the directory level.
+//   3. A randomized differential test: the same op sequence driven through
+//      rwr::Memory and through an independent reference implementation
+//      (unordered_set directory, the pre-bitset representation) must produce
+//      identical RMR flags, values, and holder sets under every protocol.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <optional>
+#include <random>
+#include <unordered_set>
+#include <vector>
+
+#include "rmr/cache.hpp"
+#include "rmr/memory.hpp"
+#include "rmr/proc_bitset.hpp"
+
+namespace {
+
+using namespace rwr;
+
+// ---- 1. ProcBitset ------------------------------------------------------
+
+TEST(ProcBitset, StartsEmpty) {
+    ProcBitset s;
+    EXPECT_TRUE(s.empty());
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_FALSE(s.test(0));
+    EXPECT_FALSE(s.test(1000));  // Beyond storage: false, no growth.
+}
+
+TEST(ProcBitset, SetTestResetAcrossWordBoundaries) {
+    ProcBitset s;
+    for (const ProcId p : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 1000u}) {
+        s.set(p);
+        EXPECT_TRUE(s.test(p)) << p;
+    }
+    EXPECT_EQ(s.count(), 8u);
+    s.reset(64);
+    s.reset(5000);  // Beyond storage: no-op.
+    EXPECT_FALSE(s.test(64));
+    EXPECT_EQ(s.count(), 7u);
+}
+
+TEST(ProcBitset, DoubleSetIsIdempotent) {
+    ProcBitset s;
+    s.set(7);
+    s.set(7);
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(ProcBitset, ClearKeepsWorking) {
+    ProcBitset s(256);
+    EXPECT_EQ(s.universe(), 256u);
+    s.set(3);
+    s.set(200);
+    s.clear();
+    EXPECT_TRUE(s.empty());
+    s.set(200);
+    EXPECT_TRUE(s.test(200));
+    EXPECT_EQ(s.count(), 1u);
+}
+
+TEST(ProcBitset, UnionGrowsToLargerOperand) {
+    ProcBitset a;
+    a.set(1);
+    ProcBitset b;
+    b.set(500);
+    a |= b;
+    EXPECT_TRUE(a.test(1));
+    EXPECT_TRUE(a.test(500));
+    EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(ProcBitset, SubsetToleratesStorageSizeMismatch) {
+    ProcBitset small;
+    small.set(2);
+    ProcBitset big;
+    big.set(2);
+    big.set(300);
+    EXPECT_TRUE(small.subset_of(big));
+    EXPECT_FALSE(big.subset_of(small));
+    // Trailing zero words on the longer side must not break subset.
+    big.reset(300);
+    EXPECT_TRUE(big.subset_of(small));
+}
+
+TEST(ProcBitset, EqualityIsSemanticNotStorage) {
+    ProcBitset a;
+    a.set(2);
+    ProcBitset b;
+    b.set(2);
+    b.set(900);
+    b.reset(900);  // Same bits as a, much bigger storage.
+    EXPECT_EQ(a, b);
+    b.set(3);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(ProcBitset, ForEachVisitsInIncreasingOrder) {
+    ProcBitset s;
+    const std::vector<ProcId> want = {0, 5, 63, 64, 130, 131, 700};
+    for (auto it = want.rbegin(); it != want.rend(); ++it) {
+        s.set(*it);  // Insert in reverse to prove ordering is intrinsic.
+    }
+    std::vector<ProcId> got;
+    s.for_each([&got](ProcId p) { got.push_back(p); });
+    EXPECT_EQ(got, want);
+}
+
+// ---- 2. CacheDirectory transitions --------------------------------------
+
+TEST(CacheDirectory, SharedCopiesAccumulate) {
+    CacheDirectory d;
+    EXPECT_EQ(d.num_holders(), 0u);
+    d.add_shared(1);
+    d.add_shared(2);
+    d.add_shared(2);  // Re-read by a holder: no double count.
+    EXPECT_EQ(d.num_holders(), 2u);
+    EXPECT_TRUE(d.holds(1));
+    EXPECT_TRUE(d.holds_shared(2));
+    EXPECT_FALSE(d.holds(3));
+    EXPECT_FALSE(d.has_exclusive());
+}
+
+TEST(CacheDirectory, DowngradeMovesExclusiveHolderToShared) {
+    CacheDirectory d;
+    d.invalidate_others_make_exclusive(4);
+    EXPECT_TRUE(d.holds_exclusive(4));
+    EXPECT_EQ(d.num_holders(), 1u);
+    d.downgrade_and_share(9);
+    EXPECT_FALSE(d.has_exclusive());
+    EXPECT_TRUE(d.holds_shared(4));  // Old exclusive holder keeps a copy.
+    EXPECT_TRUE(d.holds_shared(9));
+    EXPECT_EQ(d.num_holders(), 2u);
+}
+
+TEST(CacheDirectory, WriteThroughInvalidationSparesTheWriter) {
+    CacheDirectory d;
+    d.add_shared(1);
+    d.add_shared(2);
+    d.invalidate_others(1);
+    EXPECT_TRUE(d.holds(1));  // Writer's own copy stays valid.
+    EXPECT_FALSE(d.holds(2));
+    EXPECT_EQ(d.num_holders(), 1u);
+}
+
+TEST(CacheDirectory, WriteThroughWriteDoesNotAllocate) {
+    CacheDirectory d;
+    d.add_shared(2);
+    d.invalidate_others(1);  // Writer had no copy: it must not gain one.
+    EXPECT_FALSE(d.holds(1));
+    EXPECT_EQ(d.num_holders(), 0u);
+}
+
+TEST(CacheDirectory, ExclusiveUpgradeInvalidatesEveryoneElse) {
+    CacheDirectory d;
+    d.add_shared(1);
+    d.add_shared(2);
+    d.invalidate_others_make_exclusive(2);
+    EXPECT_FALSE(d.holds(1));
+    EXPECT_TRUE(d.holds_exclusive(2));
+    EXPECT_FALSE(d.holds_shared(2));  // Exclusive, not shared.
+    EXPECT_EQ(d.num_holders(), 1u);
+}
+
+TEST(CacheDirectory, ClearDropsEverything) {
+    CacheDirectory d;
+    d.add_shared(1);
+    d.invalidate_others_make_exclusive(2);
+    d.clear();
+    EXPECT_EQ(d.num_holders(), 0u);
+    EXPECT_FALSE(d.holds(1));
+    EXPECT_FALSE(d.holds(2));
+    EXPECT_FALSE(d.has_exclusive());
+}
+
+// ---- 3. Randomized differential test ------------------------------------
+//
+// Reference model: the protocol rules implemented over unordered_set -- the
+// representation CacheDirectory used before the bitset swap -- written
+// independently from memory.cpp so representation bugs can't cancel out.
+
+struct RefDir {
+    std::unordered_set<ProcId> sharers;
+    std::optional<ProcId> exclusive;
+
+    [[nodiscard]] bool holds(ProcId p) const {
+        return exclusive == p || sharers.count(p) > 0;
+    }
+};
+
+class RefMemory {
+   public:
+    RefMemory(Protocol proto, std::size_t vars, std::vector<ProcId> owners)
+        : proto_(proto), vals_(vars, 0), dirs_(vars),
+          owners_(std::move(owners)) {}
+
+    OpResult apply(ProcId p, const Op& op) {
+        Word& stored = vals_[op.var.index];
+        OpResult res;
+        res.value = stored;
+        if (op.code == OpCode::Read) {
+            res.rmr = ref_read(p, op.var.index);
+        } else {
+            res.rmr = ref_write(p, op.var.index);
+            if (op.code == OpCode::Write) {
+                res.nontrivial = stored != op.arg0;
+                stored = op.arg0;
+            } else if (op.code == OpCode::Cas) {
+                if (stored == op.arg0) {
+                    res.nontrivial = stored != op.arg1;
+                    stored = op.arg1;
+                }
+            } else {  // FetchAdd
+                res.nontrivial = op.arg0 != 0;
+                stored = stored + op.arg0;
+            }
+        }
+        total_rmrs_ += res.rmr ? 1 : 0;
+        return res;
+    }
+
+    [[nodiscard]] bool holds(ProcId p, std::size_t v) const {
+        return dirs_[v].holds(p);
+    }
+    [[nodiscard]] bool holds_exclusive(ProcId p, std::size_t v) const {
+        return dirs_[v].exclusive == p;
+    }
+    [[nodiscard]] std::uint64_t total_rmrs() const { return total_rmrs_; }
+
+   private:
+    bool ref_read(ProcId p, std::size_t v) {
+        RefDir& d = dirs_[v];
+        switch (proto_) {
+            case Protocol::WriteThrough:
+                if (d.holds(p)) {
+                    return false;
+                }
+                d.sharers.insert(p);
+                return true;
+            case Protocol::WriteBack:
+                if (d.holds(p)) {
+                    return false;
+                }
+                if (d.exclusive) {
+                    d.sharers.insert(*d.exclusive);
+                    d.exclusive.reset();
+                }
+                d.sharers.insert(p);
+                return true;
+            case Protocol::Dsm:
+                return owners_[v] != p;
+        }
+        return true;
+    }
+
+    bool ref_write(ProcId p, std::size_t v) {
+        RefDir& d = dirs_[v];
+        switch (proto_) {
+            case Protocol::WriteThrough: {
+                const bool had = d.holds(p);
+                d.sharers.clear();
+                d.exclusive.reset();
+                if (had) {
+                    d.sharers.insert(p);
+                }
+                return true;
+            }
+            case Protocol::WriteBack:
+                if (d.exclusive == p) {
+                    return false;
+                }
+                d.sharers.clear();
+                d.exclusive = p;
+                return true;
+            case Protocol::Dsm:
+                return owners_[v] != p;
+        }
+        return true;
+    }
+
+    Protocol proto_;
+    std::vector<Word> vals_;
+    std::vector<RefDir> dirs_;
+    std::vector<ProcId> owners_;
+    std::uint64_t total_rmrs_ = 0;
+};
+
+class DifferentialSweep : public ::testing::TestWithParam<Protocol> {};
+
+TEST_P(DifferentialSweep, RandomOpsMatchReferenceDirectory) {
+    const Protocol proto = GetParam();
+    constexpr std::uint32_t kProcs = 70;  // Spans >1 bitset word.
+    constexpr std::uint32_t kVars = 9;
+    constexpr int kOps = 20'000;
+
+    Memory mem(proto);
+    std::vector<ProcId> owners;
+    std::vector<VarId> vars;
+    std::mt19937_64 rng(20260805);
+    for (std::uint32_t v = 0; v < kVars; ++v) {
+        // Mix owned and unowned homes so Dsm sees both localities.
+        const ProcId owner =
+            v % 3 == 0 ? Memory::kNoOwner : static_cast<ProcId>(v % kProcs);
+        owners.push_back(owner);
+        vars.push_back(mem.allocate("v" + std::to_string(v), 0, owner));
+    }
+    RefMemory ref(proto, kVars, owners);
+
+    for (int i = 0; i < kOps; ++i) {
+        const auto p = static_cast<ProcId>(rng() % kProcs);
+        const VarId v = vars[rng() % kVars];
+        Op op;
+        switch (rng() % 4) {
+            case 0: op = Op::read(v); break;
+            case 1: op = Op::write(v, rng() % 4); break;
+            case 2: op = Op::cas(v, rng() % 4, rng() % 4); break;
+            default: op = Op::fetch_add(v, rng() % 3); break;
+        }
+        const OpResult got = mem.apply(p, op);
+        const OpResult want = ref.apply(p, op);
+        ASSERT_EQ(got.rmr, want.rmr) << "op " << i;
+        ASSERT_EQ(got.value, want.value) << "op " << i;
+        ASSERT_EQ(got.nontrivial, want.nontrivial) << "op " << i;
+    }
+
+    // Same RMR totals and, per (process, variable), the same holder state.
+    EXPECT_EQ(mem.total_rmrs(), ref.total_rmrs());
+    for (std::uint32_t v = 0; v < kVars; ++v) {
+        for (ProcId p = 0; p < kProcs; ++p) {
+            ASSERT_EQ(mem.cached(p, vars[v]), ref.holds(p, v))
+                << "p=" << p << " v=" << v;
+            ASSERT_EQ(mem.cached_exclusive(p, vars[v]),
+                      ref.holds_exclusive(p, v))
+                << "p=" << p << " v=" << v;
+        }
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllProtocols, DifferentialSweep,
+                         ::testing::Values(Protocol::WriteThrough,
+                                           Protocol::WriteBack,
+                                           Protocol::Dsm),
+                         [](const auto& info) {
+                             switch (info.param) {
+                                 case Protocol::WriteThrough:
+                                     return std::string("WriteThrough");
+                                 case Protocol::WriteBack:
+                                     return std::string("WriteBack");
+                                 default:
+                                     return std::string("Dsm");
+                             }
+                         });
+
+}  // namespace
