@@ -12,16 +12,26 @@
 // tolerance -- it guards against order-of-magnitude engine regressions,
 // not noise). Rows where either run spent less than --min-perf-ms (default
 // 5 ms) of wall time are exempt from the perf gate: sub-millisecond cells
-// measure scheduler jitter, not the engine. Exit 1 iff any row is flagged,
-// so CI or a local loop can gate on it:
+// measure scheduler jitter, not the engine.
+//
+// Baseline rows MISSING from the new run are a hard error, one message per
+// row: a vanished row means the new binary silently dropped a
+// configuration, which would let a regression hide by deleting its row.
+// Rows only the new run has are informational ([new]).
+//
+// Exit 1 iff any row regressed or went missing, so CI or a local loop can
+// gate on it:
 //
 //   bench_native_throughput --json new.json && bench_compare BENCH_native.json new.json
+//
+// The join/diff logic lives in harness/bench_diff.hpp (unit-tested in
+// tests/test_bench_diff.cpp); this binary is the CLI around it.
 #include <cstring>
 #include <iostream>
-#include <map>
 #include <string>
 #include <vector>
 
+#include "harness/bench_diff.hpp"
 #include "harness/bench_json.hpp"
 
 namespace {
@@ -29,117 +39,26 @@ namespace {
 using rwr::harness::json::Value;
 namespace bench = rwr::harness::bench;
 
-std::string row_key(const std::string& bench_name, const Value& row) {
-    auto field = [&row](const char* k) -> std::string {
-        const Value* v = row.find(k);
-        if (v == nullptr) {
-            return "-";
-        }
-        return v->type() == Value::Type::String
-                   ? v->as_string()
-                   : std::to_string(v->as_uint());
-    };
-    return bench_name + "/" + field("lock") + "/" + field("protocol") +
-           "/n" + field("n") + "/m" + field("m") + "/f" + field("f") +
-           "/t" + field("threads");
-}
-
-std::map<std::string, const Value*> index_rows(const Value& doc) {
-    const std::string name = doc.find("bench")->as_string();
-    std::map<std::string, const Value*> idx;
-    for (const auto& row : doc.find("results")->items()) {
-        idx[row_key(name, row)] = &row;
+int compare(const Value& oldd, const Value& newd,
+            const bench::DiffOptions& opts) {
+    const bench::DiffReport rep = bench::diff(oldd, newd, opts);
+    for (const auto& key : rep.added) {
+        std::cout << "  [new]     " << key << "\n";
     }
-    return idx;
-}
-
-struct Flagged {
-    std::string key, what;
-    double before, after, change;
-};
-
-/// change > 0 is "worse" for the caller's chosen direction.
-void diff_metric(const std::string& key, const char* what, double before,
-                 double after, bool drop_is_bad, double max_frac,
-                 std::vector<Flagged>* flags) {
-    if (before <= 0) {
-        return;  // No meaningful baseline.
+    std::cout << rep.joined << " rows joined, " << rep.regressions.size()
+              << " regression(s) beyond " << opts.max_drop * 100 << "%, "
+              << rep.missing.size() << " missing row(s)\n";
+    for (const auto& key : rep.missing) {
+        std::cout << "  [MISSING] " << key
+                  << ": present in baseline but absent from the new run "
+                     "(dropped configuration?)\n";
     }
-    const double frac =
-        drop_is_bad ? (before - after) / before : (after - before) / before;
-    if (frac > max_frac) {
-        flags->push_back({key, what, before, after, frac});
-    }
-}
-
-int compare(const Value& oldd, const Value& newd, double max_frac,
-            double max_perf_frac, double min_perf_ms) {
-    const auto old_idx = index_rows(oldd);
-    const auto new_idx = index_rows(newd);
-    std::vector<Flagged> flags;
-    std::size_t joined = 0;
-    for (const auto& [key, old_row] : old_idx) {
-        const auto it = new_idx.find(key);
-        if (it == new_idx.end()) {
-            std::cout << "  [gone]    " << key << "\n";
-            continue;
-        }
-        ++joined;
-        const Value* new_row = it->second;
-        const Value* old_t = old_row->find("throughput_ops");
-        const Value* new_t = new_row->find("throughput_ops");
-        if (old_t != nullptr && new_t != nullptr) {
-            diff_metric(key, "throughput_ops", old_t->as_double(),
-                        new_t->as_double(), /*drop_is_bad=*/true, max_frac,
-                        &flags);
-        }
-        const Value* old_r = old_row->find("sim_rmr");
-        const Value* new_r = new_row->find("sim_rmr");
-        if (old_r != nullptr && new_r != nullptr) {
-            for (const char* m :
-                 {"reader_mean_passage", "writer_mean_passage"}) {
-                const Value* ov = old_r->find(m);
-                const Value* nv = new_r->find(m);
-                if (ov != nullptr && nv != nullptr) {
-                    diff_metric(key, m, ov->as_double(), nv->as_double(),
-                                /*drop_is_bad=*/false, max_frac, &flags);
-                }
-            }
-        }
-        const Value* old_p = old_row->find("sim_perf");
-        const Value* new_p = new_row->find("sim_perf");
-        if (old_p != nullptr && new_p != nullptr) {
-            const Value* ov = old_p->find("steps_per_sec");
-            const Value* nv = new_p->find("steps_per_sec");
-            const Value* ow = old_p->find("wall_ms");
-            const Value* nw = new_p->find("wall_ms");
-            // Sub-floor cells finish in fractions of a millisecond; their
-            // steps_per_sec is dominated by scheduling noise, not engine
-            // speed, so only rows where both runs spent real time qualify.
-            const bool measurable = ow != nullptr && nw != nullptr &&
-                                    ow->as_double() >= min_perf_ms &&
-                                    nw->as_double() >= min_perf_ms;
-            if (ov != nullptr && nv != nullptr && measurable) {
-                diff_metric(key, "sim_perf.steps_per_sec", ov->as_double(),
-                            nv->as_double(), /*drop_is_bad=*/true,
-                            max_perf_frac, &flags);
-            }
-        }
-    }
-    for (const auto& [key, row] : new_idx) {
-        if (old_idx.find(key) == old_idx.end()) {
-            std::cout << "  [new]     " << key << "\n";
-        }
-        (void)row;
-    }
-    std::cout << joined << " rows joined, " << flags.size()
-              << " regression(s) beyond " << max_frac * 100 << "%\n";
-    for (const auto& f : flags) {
-        std::cout << "  [REGRESS] " << f.key << " " << f.what << ": "
+    for (const auto& f : rep.regressions) {
+        std::cout << "  [REGRESS] " << f.key << " " << f.metric << ": "
                   << f.before << " -> " << f.after << " ("
                   << (f.change * 100) << "% worse)\n";
     }
-    return flags.empty() ? 0 : 1;
+    return rep.ok() ? 0 : 1;
 }
 
 int usage() {
@@ -153,21 +72,19 @@ int usage() {
 
 int main(int argc, char** argv) {
     bool check_only = false;
-    double max_frac = 0.10;
-    double max_perf_frac = 0.50;
-    double min_perf_ms = 5.0;
+    bench::DiffOptions opts;
     std::vector<std::string> files;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--check") == 0) {
             check_only = true;
         } else if (std::strcmp(argv[i], "--max-drop") == 0 && i + 1 < argc) {
-            max_frac = std::stod(argv[++i]);
+            opts.max_drop = std::stod(argv[++i]);
         } else if (std::strcmp(argv[i], "--max-perf-drop") == 0 &&
                    i + 1 < argc) {
-            max_perf_frac = std::stod(argv[++i]);
+            opts.max_perf_drop = std::stod(argv[++i]);
         } else if (std::strcmp(argv[i], "--min-perf-ms") == 0 &&
                    i + 1 < argc) {
-            min_perf_ms = std::stod(argv[++i]);
+            opts.min_perf_ms = std::stod(argv[++i]);
         } else {
             files.emplace_back(argv[i]);
         }
@@ -188,7 +105,7 @@ int main(int argc, char** argv) {
         const Value newd = bench::read_file(files[1]);
         bench::validate(oldd);
         bench::validate(newd);
-        return compare(oldd, newd, max_frac, max_perf_frac, min_perf_ms);
+        return compare(oldd, newd, opts);
     } catch (const std::exception& e) {
         std::cerr << "bench_compare: " << e.what() << "\n";
         return 1;

@@ -1,0 +1,368 @@
+// E12 -- recoverable lock tier under crash-restart faults.
+//
+// Phase 1 (grid): drives the recoverable tournament mutex (rmx) and the
+// recoverable RW lock (rrw) through deterministic RoundRobin passage runs
+// while a FaultPlan injects `c` crash-restart faults spread over victims
+// and sections (Entry / Critical / Exit, cycling). Reports per-role passage
+// RMRs, total restarts, the longest recovery episode, and the mean RMRs
+// spent inside Section::Recover -- the price of recovery, which the
+// Golab-Ramaraju transformation keeps O(1) for a crash inside the CS and
+// O(normal entry) for a crash mid-entry. The ME + RME checkers run in
+// counting mode on every cell; any violation fails the binary (exit 1).
+//
+// Phase 2 (adversary): for tiny fixed configurations, exhaustively tries
+// every single-crash placement (victim x section x step-in-section) and
+// reports the argmax recovery cost -- a brute-force worst-case adversary
+// over crash timing, complementing the schedule adversaries of
+// bench_lowerbound.
+//
+// Determinism: RoundRobin scheduling + step-indexed fault firing makes
+// every cell a pure function of its config, so --jobs N is bit-identical
+// for every N (pinned by test_recover.cpp).
+//
+// Flags:
+//   --json <path>  emit an "rwr-bench-v1" document. Crash counts are part
+//                  of the lock name ("rmx-c2", "rrw-c4") so each grid cell
+//                  keys a distinct row for bench_compare; each row carries
+//                  sim_rmr + sim_perf plus a "recover" object {restarts,
+//                  max_recovery_steps, recover-section mean RMRs}.
+//   --jobs N       worker threads (default: hardware concurrency).
+//   --max-n N      truncate the rrw reader sweep.
+//   --smoke        CI-sized grid (seconds, not minutes).
+#include <cstdint>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "harness/bench_json.hpp"
+#include "harness/parallel.hpp"
+#include "harness/table.hpp"
+#include "recover/recover_experiment.hpp"
+#include "sim/fault.hpp"
+
+namespace {
+
+using namespace rwr;
+using namespace rwr::harness;
+using recover::RecoverExperimentConfig;
+using recover::RecoverExperimentResult;
+using recover::RecoverLockKind;
+
+struct Cell {
+    RecoverLockKind lock;
+    std::uint32_t n;  ///< Readers (rrw) / 0 (rmx).
+    std::uint32_t m;  ///< Writers (rrw) / processes (rmx).
+    std::uint32_t f;
+    std::uint32_t crashes;
+};
+
+/// Spreads `crashes` crash-restart faults over victims (round-robin) and
+/// sections (Entry -> Critical -> Exit, cycling), bumping the step index
+/// each full section cycle so repeated hits on a victim land at different
+/// points of its passage.
+sim::FaultPlan crash_plan(std::uint32_t crashes, std::uint32_t num_procs) {
+    static constexpr Section kSections[3] = {Section::Entry, Section::Critical,
+                                             Section::Exit};
+    sim::FaultPlan plan;
+    for (std::uint32_t i = 0; i < crashes; ++i) {
+        plan.crash_restart(i % num_procs, kSections[i % 3], 1 + i / 3);
+    }
+    return plan;
+}
+
+std::uint32_t num_procs_of(const Cell& c) {
+    return c.lock == RecoverLockKind::Mutex ? c.m : c.n + c.m;
+}
+
+RecoverExperimentConfig config_for(const Cell& c) {
+    RecoverExperimentConfig cfg;
+    cfg.lock = c.lock;
+    cfg.n = c.n;
+    cfg.m = c.m;
+    cfg.f = c.f;
+    cfg.passages = 3;
+    cfg.cs_steps = 2;
+    cfg.sched = SchedKind::RoundRobin;
+    cfg.faults = crash_plan(c.crashes, num_procs_of(c));
+    return cfg;
+}
+
+std::string lock_name(const Cell& c) {
+    return to_string(c.lock) + "-c" + std::to_string(c.crashes);
+}
+
+/// A single crash-restart injection point (phase 2's search space).
+struct Placement {
+    ProcId victim;
+    Section section;
+    std::uint64_t step;
+};
+
+void json_row(json::Value* results, const std::string& lock,
+              const RecoverExperimentConfig& cfg,
+              const RecoverExperimentResult& res,
+              const Placement* placement = nullptr) {
+    if (results == nullptr) {
+        return;
+    }
+    const bool mutex = cfg.lock == RecoverLockKind::Mutex;
+    auto row = json::Value::object();
+    row.set("lock", lock);
+    row.set("protocol", to_string(cfg.protocol));
+    row.set("n", mutex ? 0U : cfg.n);
+    row.set("m", cfg.m);
+    row.set("f", cfg.f);
+    row.set("threads", mutex ? cfg.m : cfg.n + cfg.m);
+    auto rmr = json::Value::object();
+    rmr.set("reader_mean_passage", res.readers.mean_passage_rmrs);
+    rmr.set("reader_max_passage", res.readers.max_passage_rmrs);
+    rmr.set("writer_mean_passage", res.writers.mean_passage_rmrs);
+    rmr.set("writer_max_passage", res.writers.max_passage_rmrs);
+    row.set("sim_rmr", std::move(rmr));
+    auto perf = json::Value::object();
+    perf.set("steps", res.steps);
+    perf.set("wall_ms", res.wall_ms);
+    perf.set("steps_per_sec",
+             res.wall_ms > 0 ? static_cast<double>(res.steps) /
+                                   (res.wall_ms / 1000.0)
+                             : 0.0);
+    row.set("sim_perf", std::move(perf));
+    // Recoverable-tier extras: not interpreted by bench_compare (which only
+    // gates the standard metric blocks) but recorded for the E12 tables.
+    auto rec = json::Value::object();
+    rec.set("restarts", res.restarts);
+    rec.set("max_recovery_steps", res.max_recovery_steps);
+    rec.set("reader_recover_mean", res.readers.mean_in(Section::Recover));
+    rec.set("writer_recover_mean", res.writers.mean_in(Section::Recover));
+    if (placement != nullptr) {
+        rec.set("victim", static_cast<std::uint64_t>(placement->victim));
+        rec.set("section", to_string(placement->section));
+        rec.set("step_in_section", placement->step);
+    }
+    row.set("recover", std::move(rec));
+    results->push_back(std::move(row));
+}
+
+/// Checks one finished cell; prints and counts any failure.
+bool cell_ok(const std::string& what, const RecoverExperimentResult& res) {
+    if (!res.finished) {
+        std::cerr << "FAIL " << what << ": run did not finish\n";
+        return false;
+    }
+    if (res.me_violations != 0 || res.rme_violations != 0) {
+        std::cerr << "FAIL " << what << ": " << res.me_violations << " ME + "
+                  << res.rme_violations
+                  << " RME violation(s); first: " << res.first_violation
+                  << "\n";
+        return false;
+    }
+    return true;
+}
+
+bool run_grid(std::uint32_t max_n, bool smoke, unsigned jobs,
+              json::Value* results) {
+    std::vector<Cell> cells;
+    const std::vector<std::uint32_t> crash_counts =
+        smoke ? std::vector<std::uint32_t>{0, 2}
+              : std::vector<std::uint32_t>{0, 1, 2, 4};
+    for (const std::uint32_t m :
+         smoke ? std::vector<std::uint32_t>{2}
+               : std::vector<std::uint32_t>{2, 4, 8}) {
+        for (const std::uint32_t c : crash_counts) {
+            cells.push_back({RecoverLockKind::Mutex, 0, m, 1, c});
+        }
+    }
+    for (const std::uint32_t n :
+         smoke ? std::vector<std::uint32_t>{4}
+               : std::vector<std::uint32_t>{4, 8, 16}) {
+        if (n > max_n) {
+            continue;
+        }
+        for (const std::uint32_t f : {1U, 2U, n}) {
+            if (f > n) {
+                continue;
+            }
+            for (const std::uint32_t c : crash_counts) {
+                cells.push_back({RecoverLockKind::RwLock, n, 2, f, c});
+            }
+        }
+    }
+    std::vector<RecoverExperimentConfig> cfgs;
+    cfgs.reserve(cells.size());
+    for (const Cell& c : cells) {
+        cfgs.push_back(config_for(c));
+    }
+    std::vector<RecoverExperimentResult> res(cfgs.size());
+    parallel_for(cfgs.size(), jobs, [&](std::size_t i) {
+        res[i] = recover::run_recover_experiment(cfgs[i]);
+    });
+
+    std::cout << "\n=== E12: recoverable passages under crash-restart "
+                 "faults ===\n"
+              << "(crashes spread over victims and Entry/Critical/Exit; "
+                 "rd/wr rec = mean RMRs in the recovery section)\n";
+    Table t({"lock", "n", "m", "f", "crashes", "restarts", "max rec steps",
+             "rd mean", "wr mean", "rd rec", "wr rec", "passages"});
+    bool ok = true;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell& c = cells[i];
+        const RecoverExperimentResult& r = res[i];
+        ok = cell_ok(lock_name(c) + " n=" + std::to_string(c.n) +
+                         " m=" + std::to_string(c.m) +
+                         " f=" + std::to_string(c.f),
+                     r) &&
+             ok;
+        json_row(results, lock_name(c), cfgs[i], r);
+        t.row({lock_name(c), fmt(c.n), fmt(c.m), fmt(c.f), fmt(c.crashes),
+               fmt(r.restarts), fmt(r.max_recovery_steps),
+               fmt(r.readers.mean_passage_rmrs),
+               fmt(r.writers.mean_passage_rmrs),
+               fmt(r.readers.mean_in(Section::Recover)),
+               fmt(r.writers.mean_in(Section::Recover)),
+               fmt(r.total_passages)});
+    }
+    t.print();
+    return ok;
+}
+
+// ---- Phase 2: brute-force worst-case crash placement ----------------------
+
+/// Exhaustively crashes `base` at every (victim, section, step <= max_step)
+/// placement and reports the placement maximizing the recovery episode
+/// length (ties: most recovery-section RMRs). Placements past the end of a
+/// victim's section never fire (restarts == 0) and are skipped -- reaching
+/// them proves the step range covered the whole section.
+bool run_worst_case(const std::string& label, RecoverExperimentConfig base,
+                    std::uint64_t max_step, unsigned jobs,
+                    json::Value* results) {
+    static constexpr Section kSections[3] = {Section::Entry, Section::Critical,
+                                             Section::Exit};
+    const std::uint32_t procs = base.lock == RecoverLockKind::Mutex
+                                    ? base.m
+                                    : base.n + base.m;
+    std::vector<Placement> placements;
+    std::vector<RecoverExperimentConfig> cfgs;
+    for (ProcId v = 0; v < procs; ++v) {
+        for (const Section s : kSections) {
+            for (std::uint64_t step = 1; step <= max_step; ++step) {
+                placements.push_back({v, s, step});
+                RecoverExperimentConfig cfg = base;
+                cfg.faults = sim::FaultPlan{}.crash_restart(v, s, step);
+                cfgs.push_back(cfg);
+            }
+        }
+    }
+    std::vector<RecoverExperimentResult> res(cfgs.size());
+    parallel_for(cfgs.size(), jobs, [&](std::size_t i) {
+        res[i] = recover::run_recover_experiment(cfgs[i]);
+    });
+
+    bool ok = true;
+    std::size_t best = placements.size();
+    std::size_t fired = 0;
+    for (std::size_t i = 0; i < placements.size(); ++i) {
+        ok = cell_ok(label + " worst-case placement #" + std::to_string(i),
+                     res[i]) &&
+             ok;
+        if (res[i].restarts == 0) {
+            continue;  // Placement past the end of the section: no fault.
+        }
+        ++fired;
+        if (best == placements.size() ||
+            res[i].max_recovery_steps > res[best].max_recovery_steps ||
+            (res[i].max_recovery_steps == res[best].max_recovery_steps &&
+             res[i].writers.mean_in(Section::Recover) >
+                 res[best].writers.mean_in(Section::Recover))) {
+            best = i;
+        }
+    }
+    std::cout << "\n=== E12b: worst single crash placement, " << label
+              << " (" << placements.size() << " placements, " << fired
+              << " fired) ===\n";
+    if (best == placements.size()) {
+        std::cerr << "FAIL " << label << ": no placement fired\n";
+        return false;
+    }
+    const Placement& p = placements[best];
+    const RecoverExperimentResult& r = res[best];
+    Table t({"victim", "section", "step", "max rec steps", "rd rec", "wr rec",
+             "wr mean"});
+    t.row({fmt(p.victim), to_string(p.section), fmt(p.step),
+           fmt(r.max_recovery_steps),
+           fmt(r.readers.mean_in(Section::Recover)),
+           fmt(r.writers.mean_in(Section::Recover)),
+           fmt(r.writers.mean_passage_rmrs)});
+    t.print();
+
+    json_row(results, label + "-worst", cfgs[best], r, &p);
+    return ok;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+    std::string json_path;
+    std::uint32_t max_n = 16;
+    bool smoke = false;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        } else if (std::strcmp(argv[i], "--max-n") == 0 && i + 1 < argc) {
+            max_n = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--smoke") == 0) {
+            smoke = true;
+        }
+    }
+    const unsigned jobs = parse_jobs(argc, argv);
+    auto doc = bench::make_doc("recoverable");
+    json::Value* results = nullptr;
+    if (!json_path.empty()) {
+        results = &doc.set("results", json::Value::array());
+    }
+
+    std::cout << "bench_recoverable: recoverable mutex/RW lock passages "
+                 "under crash-restart faults (jobs="
+              << jobs << (smoke ? ", smoke" : "") << ")\n";
+    bool ok = run_grid(max_n, smoke, jobs, results);
+
+    const std::uint64_t max_step = smoke ? 3 : 6;
+    {
+        RecoverExperimentConfig base;
+        base.lock = RecoverLockKind::Mutex;
+        base.n = 0;
+        base.m = 2;
+        base.f = 1;
+        base.passages = 2;
+        base.cs_steps = 2;
+        base.sched = SchedKind::RoundRobin;
+        ok = run_worst_case("rmx", base, max_step, jobs, results) && ok;
+    }
+    {
+        RecoverExperimentConfig base;
+        base.lock = RecoverLockKind::RwLock;
+        base.n = 2;
+        base.m = 1;
+        base.f = 1;
+        base.passages = 2;
+        base.cs_steps = 2;
+        base.sched = SchedKind::RoundRobin;
+        ok = run_worst_case("rrw", base, max_step, jobs, results) && ok;
+    }
+
+    if (results != nullptr) {
+        try {
+            bench::write_file(json_path, doc);
+            std::cerr << "wrote " << json_path << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << "bench_recoverable --json failed: " << e.what()
+                      << "\n";
+            return 1;
+        }
+    }
+    if (!ok) {
+        std::cerr << "bench_recoverable: FAILED (see messages above)\n";
+        return 1;
+    }
+    return 0;
+}

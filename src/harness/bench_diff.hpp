@@ -1,0 +1,170 @@
+// Row-join + regression logic behind bench_compare, extracted so tests can
+// drive it on in-memory documents (tests/test_bench_diff.cpp).
+//
+// diff() joins two rwr-bench-v1 documents on (bench, lock, protocol, n, m,
+// f, threads) and reports three things:
+//   * regressions -- metric moved beyond tolerance in the bad direction
+//     (throughput_ops / sim_rmr means / sim_perf.steps_per_sec, see
+//     bench_json.hpp for which direction is bad for each);
+//   * missing    -- rows present in the baseline but absent from the new
+//     run. A vanished row means the new binary silently stopped covering a
+//     configuration (a renamed lock, a dropped sweep cell), which would
+//     otherwise let a regression hide by deleting its row -- so missing
+//     rows are a HARD comparison failure (DiffReport::ok() is false), not
+//     an informational note;
+//   * added      -- rows only the new run has (informational: new coverage
+//     is fine).
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "harness/bench_json.hpp"
+
+namespace rwr::harness::bench {
+
+struct DiffOptions {
+    /// Tolerated fractional worsening of throughput_ops (drop) and sim_rmr
+    /// means (increase).
+    double max_drop = 0.10;
+    /// Tolerated fractional drop of sim_perf.steps_per_sec (wall-clock
+    /// noise, hence much wider).
+    double max_perf_drop = 0.50;
+    /// Rows where either run's sim_perf.wall_ms is below this floor are
+    /// exempt from the perf gate (sub-floor cells measure jitter).
+    double min_perf_ms = 5.0;
+};
+
+struct DiffFlag {
+    std::string key;
+    std::string metric;
+    double before = 0;
+    double after = 0;
+    double change = 0;  ///< Fractional worsening (> 0 is worse).
+};
+
+struct DiffReport {
+    std::size_t joined = 0;
+    std::vector<DiffFlag> regressions;
+    std::vector<std::string> missing;  ///< Baseline rows the new run lacks.
+    std::vector<std::string> added;    ///< New rows the baseline lacks.
+
+    /// Comparison passes only with zero regressions AND zero missing rows.
+    [[nodiscard]] bool ok() const {
+        return regressions.empty() && missing.empty();
+    }
+};
+
+inline std::string row_key(const std::string& bench_name,
+                           const json::Value& row) {
+    auto field = [&row](const char* k) -> std::string {
+        const json::Value* v = row.find(k);
+        if (v == nullptr) {
+            return "-";
+        }
+        return v->type() == json::Value::Type::String
+                   ? v->as_string()
+                   : std::to_string(v->as_uint());
+    };
+    return bench_name + "/" + field("lock") + "/" + field("protocol") +
+           "/n" + field("n") + "/m" + field("m") + "/f" + field("f") +
+           "/t" + field("threads");
+}
+
+inline std::map<std::string, const json::Value*> index_rows(
+    const json::Value& doc) {
+    const std::string name = doc.find("bench")->as_string();
+    std::map<std::string, const json::Value*> idx;
+    for (const auto& row : doc.find("results")->items()) {
+        idx[row_key(name, row)] = &row;
+    }
+    return idx;
+}
+
+namespace detail {
+
+/// change > 0 is "worse" for the caller's chosen direction.
+inline void diff_metric(const std::string& key, const char* metric,
+                        double before, double after, bool drop_is_bad,
+                        double max_frac, std::vector<DiffFlag>* flags) {
+    if (before <= 0) {
+        return;  // No meaningful baseline.
+    }
+    const double frac =
+        drop_is_bad ? (before - after) / before : (after - before) / before;
+    if (frac > max_frac) {
+        flags->push_back({key, metric, before, after, frac});
+    }
+}
+
+}  // namespace detail
+
+/// Both documents must already be validate()d.
+inline DiffReport diff(const json::Value& oldd, const json::Value& newd,
+                       const DiffOptions& opts) {
+    const auto old_idx = index_rows(oldd);
+    const auto new_idx = index_rows(newd);
+    DiffReport rep;
+    for (const auto& [key, old_row] : old_idx) {
+        const auto it = new_idx.find(key);
+        if (it == new_idx.end()) {
+            rep.missing.push_back(key);
+            continue;
+        }
+        ++rep.joined;
+        const json::Value* new_row = it->second;
+        const json::Value* old_t = old_row->find("throughput_ops");
+        const json::Value* new_t = new_row->find("throughput_ops");
+        if (old_t != nullptr && new_t != nullptr) {
+            detail::diff_metric(key, "throughput_ops", old_t->as_double(),
+                                new_t->as_double(), /*drop_is_bad=*/true,
+                                opts.max_drop, &rep.regressions);
+        }
+        const json::Value* old_r = old_row->find("sim_rmr");
+        const json::Value* new_r = new_row->find("sim_rmr");
+        if (old_r != nullptr && new_r != nullptr) {
+            for (const char* m :
+                 {"reader_mean_passage", "writer_mean_passage"}) {
+                const json::Value* ov = old_r->find(m);
+                const json::Value* nv = new_r->find(m);
+                if (ov != nullptr && nv != nullptr) {
+                    detail::diff_metric(key, m, ov->as_double(),
+                                        nv->as_double(),
+                                        /*drop_is_bad=*/false, opts.max_drop,
+                                        &rep.regressions);
+                }
+            }
+        }
+        const json::Value* old_p = old_row->find("sim_perf");
+        const json::Value* new_p = new_row->find("sim_perf");
+        if (old_p != nullptr && new_p != nullptr) {
+            const json::Value* ov = old_p->find("steps_per_sec");
+            const json::Value* nv = new_p->find("steps_per_sec");
+            const json::Value* ow = old_p->find("wall_ms");
+            const json::Value* nw = new_p->find("wall_ms");
+            // Sub-floor cells finish in fractions of a millisecond; their
+            // steps_per_sec is dominated by scheduling noise, not engine
+            // speed, so only rows where both runs spent real time qualify.
+            const bool measurable = ow != nullptr && nw != nullptr &&
+                                    ow->as_double() >= opts.min_perf_ms &&
+                                    nw->as_double() >= opts.min_perf_ms;
+            if (ov != nullptr && nv != nullptr && measurable) {
+                detail::diff_metric(key, "sim_perf.steps_per_sec",
+                                    ov->as_double(), nv->as_double(),
+                                    /*drop_is_bad=*/true, opts.max_perf_drop,
+                                    &rep.regressions);
+            }
+        }
+    }
+    for (const auto& [key, row] : new_idx) {
+        if (old_idx.find(key) == old_idx.end()) {
+            rep.added.push_back(key);
+        }
+        (void)row;
+    }
+    return rep;
+}
+
+}  // namespace rwr::harness::bench

@@ -54,10 +54,10 @@ struct ExperimentConfig {
 
 /// Per-role aggregate over all per-passage records.
 struct RoleStats {
-    double mean_rmrs[kNumSections] = {0, 0, 0, 0};
-    std::uint64_t max_rmrs[kNumSections] = {0, 0, 0, 0};
-    double mean_steps[kNumSections] = {0, 0, 0, 0};
-    std::uint64_t max_steps[kNumSections] = {0, 0, 0, 0};
+    double mean_rmrs[kNumSections] = {};
+    std::uint64_t max_rmrs[kNumSections] = {};
+    double mean_steps[kNumSections] = {};
+    std::uint64_t max_steps[kNumSections] = {};
     double mean_passage_rmrs = 0;
     std::uint64_t max_passage_rmrs = 0;
     std::uint64_t num_passages = 0;

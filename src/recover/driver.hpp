@@ -1,0 +1,109 @@
+// Passage driver for recoverable locks, plus the restart wiring.
+//
+// drive_recoverable() is the normal-path analogue of sim::drive_passages:
+// it loops `while completed_passages < target` rather than a for-loop over
+// a count, because after a crash-restart the replacement task re-enters the
+// same loop and must not redo passages the pre-crash incarnation already
+// completed (Process::completed_passages survives restarts -- it is
+// harness bookkeeping, not lock state).
+//
+// recover_and_drive() is the task the restart factory builds: the process
+// wakes in Section::Recover (set by Process::complete_step), runs the
+// lock's recover(), resumes the interrupted passage according to the
+// outcome, and then falls back into the normal drive loop. A crash during
+// recovery simply re-runs this function (recover() is idempotent).
+//
+// Passage accounting across crashes is at-least-once: a crash on the very
+// last step of an exit section leaves a fully-released lock with the
+// passage not yet counted; recovery reports it (stage Exiting ->
+// LockReleased) and counts it, but a crash *after* the stage word returned
+// to Idle and before note_passage_complete() makes the driver retry the
+// whole passage. Exactly-once would need the count itself to live in
+// (simulated) shared memory; the checkers do not depend on it.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "recover/recoverable_lock.hpp"
+#include "sim/process.hpp"
+#include "sim/rwlock.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::recover {
+
+struct RecoverDriveConfig {
+    std::uint64_t passages = 1;
+    std::uint64_t cs_steps = 1;  ///< Local steps inside the CS (>= 1).
+    /// Optional per-passage deltas. A passage completed via recovery
+    /// records the recovery task's stats only (the pre-crash attempt's
+    /// steps stay in the process totals but the per-passage snapshot is
+    /// lost with the coroutine).
+    std::vector<sim::PassageRecord>* records = nullptr;
+};
+
+/// Runs one passage from the CS onwards: CS local steps, exit section,
+/// passage bookkeeping. Shared by the normal and the recovery path.
+inline sim::SimTask<void> finish_passage_from_cs(RecoverableLock& lock,
+                                                 sim::Process& p,
+                                                 const RecoverDriveConfig& cfg) {
+    p.set_section(Section::Critical);
+    for (std::uint64_t s = 0; s < cfg.cs_steps; ++s) {
+        co_await p.local_step();
+    }
+    p.set_section(Section::Exit);
+    co_await lock.exit(p);
+    p.set_section(Section::Remainder);
+    p.note_passage_complete();
+}
+
+inline sim::SimTask<void> drive_recoverable(RecoverableLock& lock,
+                                            sim::Process& p,
+                                            RecoverDriveConfig cfg) {
+    while (p.completed_passages() < cfg.passages) {
+        const SectionStats before = p.stats();
+        p.set_section(Section::Entry);
+        co_await lock.entry(p);
+        co_await finish_passage_from_cs(lock, p, cfg);
+        if (cfg.records != nullptr) {
+            cfg.records->push_back(sim::PassageRecord{p.stats() - before});
+        }
+    }
+}
+
+inline sim::SimTask<void> recover_and_drive(RecoverableLock& lock,
+                                            sim::Process& p,
+                                            RecoverDriveConfig cfg) {
+    // Section is already Recover here (Process::complete_step set it).
+    const SectionStats before = p.stats();
+    RecoveryOutcome out = RecoveryOutcome::None;
+    co_await lock.recover(p, out);
+    if (out == RecoveryOutcome::InCriticalSection) {
+        co_await finish_passage_from_cs(lock, p, cfg);
+        if (cfg.records != nullptr) {
+            cfg.records->push_back(sim::PassageRecord{p.stats() - before});
+        }
+    } else if (out == RecoveryOutcome::LockReleased) {
+        p.set_section(Section::Remainder);
+        p.note_passage_complete();
+        if (cfg.records != nullptr) {
+            cfg.records->push_back(sim::PassageRecord{p.stats() - before});
+        }
+    } else {
+        p.set_section(Section::Remainder);
+    }
+    co_await drive_recoverable(lock, p, cfg);
+}
+
+/// Installs both the normal task and the restart factory on `p`, making it
+/// a crash-restartable participant. `lock` and (if set) `cfg.records` must
+/// outlive the process.
+inline void install_recoverable_driver(RecoverableLock& lock, sim::Process& p,
+                                       RecoverDriveConfig cfg) {
+    p.set_task(drive_recoverable(lock, p, cfg));
+    p.set_restart_factory([&lock, cfg](sim::Process& q) {
+        return recover_and_drive(lock, q, cfg);
+    });
+}
+
+}  // namespace rwr::recover

@@ -1,0 +1,188 @@
+#include "recover/recover_experiment.hpp"
+
+#include <algorithm>
+#include <chrono>
+
+#include "recover/driver.hpp"
+#include "recover/recoverable_mutex.hpp"
+#include "recover/recoverable_rwlock.hpp"
+#include "recover/rme_checker.hpp"
+
+namespace rwr::recover {
+
+std::string to_string(RecoverLockKind k) {
+    switch (k) {
+        case RecoverLockKind::Mutex: return "rmx";
+        case RecoverLockKind::RwLock: return "rrw";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Everything a run owns; stuffed into Scenario::extra for the explorer so
+/// the lock, checkers and records outlive the factory call.
+struct BuiltRecoverScenario {
+    std::unique_ptr<sim::System> sys;
+    std::unique_ptr<RecoverableLock> lock;
+    std::unique_ptr<sim::MutualExclusionChecker> me_checker;
+    std::unique_ptr<RmeChecker> rme_checker;
+    std::unique_ptr<sim::FaultInjector> injector;
+    std::vector<std::vector<sim::PassageRecord>> records;
+};
+
+std::unique_ptr<BuiltRecoverScenario> build(const RecoverExperimentConfig& cfg,
+                                            bool throw_on_violation) {
+    auto b = std::make_unique<BuiltRecoverScenario>();
+    b->sys = std::make_unique<sim::System>(cfg.protocol);
+    Memory& mem = b->sys->memory();
+
+    std::uint32_t num_procs = 0;
+    if (cfg.lock == RecoverLockKind::Mutex) {
+        num_procs = cfg.m;
+        b->lock = std::make_unique<RecoverableTournamentMutex>(mem, "rmx",
+                                                               cfg.m);
+    } else {
+        num_procs = cfg.n + cfg.m;
+        b->lock = std::make_unique<RecoverableRWLock>(mem, "rrw", cfg.n,
+                                                      cfg.m, cfg.f);
+    }
+    b->records.resize(num_procs);
+
+    const auto install = [&](sim::Role role) {
+        sim::Process& p = b->sys->add_process(role);
+        RecoverDriveConfig dc;
+        dc.passages = cfg.passages;
+        dc.cs_steps = cfg.cs_steps;
+        dc.records = &b->records[p.id()];
+        install_recoverable_driver(*b->lock, p, dc);
+    };
+    if (cfg.lock == RecoverLockKind::Mutex) {
+        // A mutex has no reader/writer distinction; modelling every
+        // participant as a writer makes the ME predicate "at most one in
+        // the CS", which is exactly mutual exclusion.
+        for (std::uint32_t i = 0; i < cfg.m; ++i) {
+            install(sim::Role::Writer);
+        }
+    } else {
+        for (std::uint32_t r = 0; r < cfg.n; ++r) {
+            install(sim::Role::Reader);
+        }
+        for (std::uint32_t w = 0; w < cfg.m; ++w) {
+            install(sim::Role::Writer);
+        }
+    }
+
+    // Observer order matters: the injector must run before the checkers so
+    // a crash requested at step k is latched before the RME checker scans
+    // restart counters at step k+1 (both see restarts() only after the
+    // step's complete_step, so the order is for determinism, not
+    // correctness).
+    if (!cfg.faults.empty()) {
+        b->injector =
+            std::make_unique<sim::FaultInjector>(*b->sys, cfg.faults);
+        b->sys->add_observer(b->injector.get());
+    }
+    b->me_checker =
+        std::make_unique<sim::MutualExclusionChecker>(throw_on_violation);
+    b->sys->add_observer(b->me_checker.get());
+    RmeChecker::Options opts;
+    opts.throw_on_violation = throw_on_violation;
+    opts.recovery_step_bound = cfg.recovery_step_bound;
+    b->rme_checker = std::make_unique<RmeChecker>(opts);
+    b->sys->add_observer(b->rme_checker.get());
+    return b;
+}
+
+void aggregate(const BuiltRecoverScenario& b, RecoverExperimentResult* res) {
+    harness::RoleStats* roles[2] = {&res->readers, &res->writers};
+    for (ProcId id = 0; id < b.sys->num_processes(); ++id) {
+        harness::RoleStats& rs =
+            *roles[b.sys->process(id).is_reader() ? 0 : 1];
+        for (const auto& rec : b.records[id]) {
+            ++rs.num_passages;
+            for (int s = 0; s < kNumSections; ++s) {
+                rs.mean_rmrs[s] += static_cast<double>(rec.delta.rmrs[s]);
+                rs.max_rmrs[s] = std::max(rs.max_rmrs[s], rec.delta.rmrs[s]);
+                rs.mean_steps[s] += static_cast<double>(rec.delta.steps[s]);
+                rs.max_steps[s] =
+                    std::max(rs.max_steps[s], rec.delta.steps[s]);
+            }
+            const auto prmrs = rec.delta.passage_rmrs();
+            rs.mean_passage_rmrs += static_cast<double>(prmrs);
+            rs.max_passage_rmrs = std::max(rs.max_passage_rmrs, prmrs);
+        }
+    }
+    for (harness::RoleStats* rs : roles) {
+        if (rs->num_passages == 0) {
+            continue;
+        }
+        const auto denom = static_cast<double>(rs->num_passages);
+        for (int s = 0; s < kNumSections; ++s) {
+            rs->mean_rmrs[s] /= denom;
+            rs->mean_steps[s] /= denom;
+        }
+        rs->mean_passage_rmrs /= denom;
+        res->total_passages += rs->num_passages;
+    }
+}
+
+}  // namespace
+
+RecoverExperimentResult run_recover_experiment(
+    const RecoverExperimentConfig& cfg) {
+    auto b = build(cfg, /*throw_on_violation=*/false);
+    RecoverExperimentResult res;
+
+    std::unique_ptr<sim::Scheduler> sched;
+    if (!cfg.replay.empty()) {
+        sched = std::make_unique<sim::ReplayScheduler>(cfg.replay);
+    } else if (cfg.sched == harness::SchedKind::RoundRobin) {
+        sched = std::make_unique<sim::RoundRobinScheduler>();
+    } else {
+        sched = std::make_unique<sim::RandomScheduler>(cfg.seed);
+    }
+    std::unique_ptr<sim::RecordingScheduler> recorder;
+    sim::Scheduler* active = sched.get();
+    if (cfg.record_schedule) {
+        recorder = std::make_unique<sim::RecordingScheduler>(*sched);
+        active = recorder.get();
+    }
+
+    const auto sim_start = std::chrono::steady_clock::now();
+    const auto rr = sim::run(*b->sys, *active, cfg.max_steps);
+    res.wall_ms = std::chrono::duration<double, std::milli>(
+                      std::chrono::steady_clock::now() - sim_start)
+                      .count();
+    b->sys->check_failures();
+
+    res.finished = rr.all_finished;
+    res.steps = rr.steps;
+    res.all_surviving_finished = b->sys->all_surviving_finished();
+    res.me_violations = b->me_checker->violations();
+    res.rme_violations = b->rme_checker->violations();
+    res.first_violation = b->rme_checker->first_violation().empty()
+                              ? b->me_checker->first_violation()
+                              : b->rme_checker->first_violation();
+    res.restarts = b->rme_checker->total_restarts();
+    res.max_recovery_steps = b->rme_checker->max_recovery_steps();
+    if (recorder) {
+        res.schedule = recorder->choices();
+    }
+    aggregate(*b, &res);
+    return res;
+}
+
+sim::ScenarioFactory recover_scenario_factory(
+    const RecoverExperimentConfig& cfg) {
+    return [cfg]() {
+        auto b = build(cfg, /*throw_on_violation=*/true);
+        sim::Scenario sc;
+        sc.sys = std::move(b->sys);
+        sc.checker = std::move(b->me_checker);
+        sc.extra = std::shared_ptr<void>(std::move(b));
+        return sc;
+    };
+}
+
+}  // namespace rwr::recover

@@ -1,0 +1,74 @@
+// Passage experiments over the recoverable locks, crash faults included:
+// the recoverable tier's analogue of harness/experiment.hpp. Powers
+// bench_recoverable, the recoverable explorer tests and experiment E12.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "harness/experiment.hpp"
+#include "sim/explorer.hpp"
+#include "sim/fault.hpp"
+#include "sim/scheduler.hpp"
+
+namespace rwr::recover {
+
+enum class RecoverLockKind {
+    Mutex,   ///< RecoverableTournamentMutex over m processes (all writers).
+    RwLock,  ///< RecoverableRWLock over n readers + m writers.
+};
+
+[[nodiscard]] std::string to_string(RecoverLockKind k);
+
+struct RecoverExperimentConfig {
+    RecoverLockKind lock = RecoverLockKind::RwLock;
+    Protocol protocol = Protocol::WriteBack;
+    std::uint32_t n = 4;  ///< Readers (RwLock); ignored by Mutex.
+    std::uint32_t m = 2;  ///< Writers (RwLock) / total processes (Mutex).
+    std::uint32_t f = 1;  ///< RwLock group count.
+    std::uint64_t passages = 4;
+    std::uint64_t cs_steps = 1;
+    harness::SchedKind sched = harness::SchedKind::Random;
+    std::uint64_t seed = 1;
+    std::uint64_t max_steps = 50'000'000;
+
+    /// Crash-restart (and other) faults applied during the run.
+    sim::FaultPlan faults;
+    /// Forwarded to RmeChecker (0 = no bounded-recovery check).
+    std::uint64_t recovery_step_bound = 0;
+    /// Record the schedule as ReplayScheduler choice indices.
+    bool record_schedule = false;
+    /// Non-empty: ignore sched/seed and replay this choice sequence.
+    std::vector<std::size_t> replay;
+};
+
+struct RecoverExperimentResult {
+    bool finished = false;
+    bool all_surviving_finished = false;
+    std::uint64_t steps = 0;
+    double wall_ms = 0;
+    harness::RoleStats readers;  ///< Empty for Mutex runs.
+    harness::RoleStats writers;
+    std::uint64_t total_passages = 0;
+    std::uint64_t restarts = 0;            ///< Crash-restarts survived.
+    std::uint64_t max_recovery_steps = 0;  ///< Longest recovery episode.
+    std::uint64_t me_violations = 0;
+    std::uint64_t rme_violations = 0;  ///< CSR / bounded-recovery / ME.
+    std::string first_violation;
+    std::vector<std::size_t> schedule;  ///< When record_schedule is set.
+};
+
+/// Runs the configured experiment once (checkers in counting mode).
+RecoverExperimentResult run_recover_experiment(
+    const RecoverExperimentConfig& cfg);
+
+/// Explorer scenario factory: same system, checkers in throwing mode
+/// (MutualExclusionChecker in the Scenario slot, RmeChecker + FaultInjector
+/// kept alive via Scenario::extra), so explore_dfs / explore_random verify
+/// ME and CS Reentry over every schedule of a crash-bearing run.
+sim::ScenarioFactory recover_scenario_factory(
+    const RecoverExperimentConfig& cfg);
+
+}  // namespace rwr::recover

@@ -1,0 +1,68 @@
+// Recoverable-lock abstraction for the crash-restart (RME) tier.
+//
+// The recoverable mutual exclusion model (Golab & Ramaraju, PODC'16; survey
+// in Golab's SIGACT News column) extends the asynchronous shared-memory
+// model with crash-restart failures: a process may lose its entire private
+// state at any step while shared memory persists, and is then restarted in
+// a dedicated Recover section whose job is to repair the lock's state
+// before the process re-enters the normal passage cycle. In the simulator
+// this is FaultKind::CrashRestart (sim/fault.hpp) + Process restart
+// factories (sim/process.hpp); the locks below are written so that every
+// passage section is *restartable*: each section leaves enough persistent
+// evidence (per-slot stage words, pid-tagged claims) for recover() to
+// decide how far the crashed attempt got and either finish it or undo it.
+//
+// recover() reports one of three outcomes, which is all the driver
+// (recover/driver.hpp) needs to resume the passage correctly:
+//   * None              -- the crash hit outside any passage (or after a
+//                          fully completed one); nothing to repair.
+//   * InCriticalSection -- the process holds the lock NOW: the crashed
+//                          attempt is completed, the driver must run the
+//                          CS and the exit section. When the crash hit
+//                          inside the CS this is the Critical-Section
+//                          Reentry guarantee: recover() is O(1) and no
+//                          conflicting process can have entered meanwhile.
+//   * LockReleased      -- the crashed attempt's passage is finished (the
+//                          crash hit in the exit section; recovery
+//                          completed the release). The passage counts.
+#pragma once
+
+#include <string>
+
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::recover {
+
+enum class RecoveryOutcome : std::uint8_t {
+    None,
+    InCriticalSection,
+    LockReleased,
+};
+
+[[nodiscard]] inline const char* to_string(RecoveryOutcome o) {
+    switch (o) {
+        case RecoveryOutcome::None: return "none";
+        case RecoveryOutcome::InCriticalSection: return "in-cs";
+        case RecoveryOutcome::LockReleased: return "released";
+    }
+    return "?";
+}
+
+/// A lock whose passages survive crash-restart faults. entry/exit dispatch
+/// on the process's role (a mutex treats every role the same); recover()
+/// runs in Section::Recover after a restart and writes its verdict into
+/// `out` (SimTask<void> has no return channel).
+class RecoverableLock {
+   public:
+    virtual ~RecoverableLock() = default;
+
+    virtual sim::SimTask<void> entry(sim::Process& p) = 0;
+    virtual sim::SimTask<void> exit(sim::Process& p) = 0;
+    virtual sim::SimTask<void> recover(sim::Process& p,
+                                       RecoveryOutcome& out) = 0;
+
+    [[nodiscard]] virtual std::string name() const = 0;
+};
+
+}  // namespace rwr::recover

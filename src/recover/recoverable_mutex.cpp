@@ -1,0 +1,133 @@
+#include "recover/recoverable_mutex.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace rwr::recover {
+
+RecoverableTournamentMutex::RecoverableTournamentMutex(Memory& mem,
+                                                       const std::string& name,
+                                                       std::uint32_t m)
+    : m_(m), num_leaves_(m <= 1 ? 1 : std::bit_ceil(m)) {
+    if (m == 0) {
+        throw std::invalid_argument("RecoverableTournamentMutex: m must be >= 1");
+    }
+    const std::uint32_t num_nodes = num_leaves_ - 1;  // 0 when m == 1.
+    nodes_.reserve(num_nodes);
+    for (std::uint32_t i = 0; i < num_nodes; ++i) {
+        Node n;
+        n.flag[0] = mem.allocate(name + ".n" + std::to_string(i) + ".flag0", 0);
+        n.flag[1] = mem.allocate(name + ".n" + std::to_string(i) + ".flag1", 0);
+        n.victim = mem.allocate(name + ".n" + std::to_string(i) + ".victim", 0);
+        nodes_.push_back(n);
+    }
+    stage_.reserve(m);
+    for (std::uint32_t s = 0; s < m; ++s) {
+        stage_.push_back(
+            mem.allocate(name + ".stage" + std::to_string(s), kIdle));
+    }
+}
+
+sim::SimTask<void> RecoverableTournamentMutex::ascend(sim::Process& p,
+                                                      std::uint32_t slot) {
+    std::uint32_t pos = (num_leaves_ - 1) + slot;
+    while (pos != 0) {
+        const std::uint32_t parent = (pos - 1) / 2;
+        const Word side = (pos == 2 * parent + 1) ? 0 : 1;
+        const Node& node = nodes_[parent];
+        co_await p.write(node.flag[side], slot + 1);
+        co_await p.write(node.victim, side);
+        // Peterson spin. Note a recovering process re-writes victim = side
+        // above, so it always (re)yields priority: it can only pass this
+        // node by winning it in the current attempt, never on a claim its
+        // pre-crash incarnation left behind.
+        for (;;) {
+            const Word rival = co_await p.read(node.flag[1 - side]);
+            if (rival == 0) {
+                break;
+            }
+            const Word victim = co_await p.read(node.victim);
+            if (victim != side) {
+                break;
+            }
+        }
+        pos = parent;
+    }
+}
+
+sim::SimTask<void> RecoverableTournamentMutex::descend_release(
+    sim::Process& p, std::uint32_t slot) {
+    // Walk root -> leaf (reverse acquisition order), clearing only nodes
+    // that still carry our tag: a crashed earlier release may already have
+    // cleared upper nodes, and a same-side successor may legitimately hold
+    // them by now -- both are skipped.
+    std::uint32_t path[32];
+    std::uint32_t depth = 0;
+    std::uint32_t pos = (num_leaves_ - 1) + slot;
+    while (pos != 0) {
+        path[depth++] = pos;
+        pos = (pos - 1) / 2;
+    }
+    for (std::uint32_t i = depth; i-- > 0;) {
+        const std::uint32_t child = path[i];
+        const std::uint32_t parent = (child - 1) / 2;
+        const Word side = (child == 2 * parent + 1) ? 0 : 1;
+        const Word holder = co_await p.read(nodes_[parent].flag[side]);
+        if (holder == slot + 1) {
+            co_await p.write(nodes_[parent].flag[side], 0);
+        }
+    }
+}
+
+sim::SimTask<void> RecoverableTournamentMutex::enter(sim::Process& p,
+                                                     std::uint32_t slot) {
+    if (slot >= m_) {
+        throw std::invalid_argument("RecoverableTournamentMutex::enter: bad slot");
+    }
+    co_await p.write(stage_[slot], kTrying);
+    co_await ascend(p, slot);
+    co_await p.write(stage_[slot], kInCS);
+}
+
+sim::SimTask<void> RecoverableTournamentMutex::exit_slot(sim::Process& p,
+                                                         std::uint32_t slot) {
+    if (slot >= m_) {
+        throw std::invalid_argument("RecoverableTournamentMutex::exit: bad slot");
+    }
+    co_await p.write(stage_[slot], kExiting);
+    co_await descend_release(p, slot);
+    co_await p.write(stage_[slot], kIdle);
+}
+
+sim::SimTask<void> RecoverableTournamentMutex::recover_slot(
+    sim::Process& p, std::uint32_t slot, RecoveryOutcome& out) {
+    if (slot >= m_) {
+        throw std::invalid_argument(
+            "RecoverableTournamentMutex::recover: bad slot");
+    }
+    const Word s = co_await p.read(stage_[slot]);
+    if (s == kIdle) {
+        out = RecoveryOutcome::None;
+        co_return;
+    }
+    if (s == kTrying) {
+        // Crashed mid-ascent: re-compete from the leaf (idempotent, see
+        // header). As expensive as a fresh entry, but leaves the tree in a
+        // state indistinguishable from a normal acquisition.
+        co_await ascend(p, slot);
+        co_await p.write(stage_[slot], kInCS);
+        out = RecoveryOutcome::InCriticalSection;
+        co_return;
+    }
+    if (s == kInCS) {
+        // Critical-Section Reentry: we still own the lock; O(1) recovery.
+        out = RecoveryOutcome::InCriticalSection;
+        co_return;
+    }
+    // kExiting: crashed mid-release; finish it.
+    co_await descend_release(p, slot);
+    co_await p.write(stage_[slot], kIdle);
+    out = RecoveryOutcome::LockReleased;
+}
+
+}  // namespace rwr::recover

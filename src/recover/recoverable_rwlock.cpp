@@ -1,0 +1,249 @@
+#include "recover/recoverable_rwlock.hpp"
+
+#include <stdexcept>
+
+namespace rwr::recover {
+
+RecoverableRWLock::RecoverableRWLock(Memory& mem, const std::string& name,
+                                     std::uint32_t n, std::uint32_t m,
+                                     std::uint32_t f)
+    : n_(n),
+      m_(m),
+      group_size_(f == 0 ? 0 : (n + f - 1) / f),
+      wl_(mem, name + ".wl", m) {
+    if (n == 0 || m == 0) {
+        throw std::invalid_argument("RecoverableRWLock: need n, m >= 1");
+    }
+    if (f == 0 || f > n) {
+        throw std::invalid_argument("RecoverableRWLock: need 1 <= f <= n");
+    }
+    if (group_size_ > 64) {
+        throw std::invalid_argument(
+            "RecoverableRWLock: group size ceil(n/f) must be <= 64 "
+            "(one presence bit per group member)");
+    }
+    const std::uint32_t groups = (n + group_size_ - 1) / group_size_;
+    rstage_.reserve(n);
+    for (std::uint32_t r = 0; r < n; ++r) {
+        rstage_.push_back(
+            mem.allocate(name + ".rstage" + std::to_string(r), kIdle));
+    }
+    rbits_.reserve(groups);
+    for (std::uint32_t g = 0; g < groups; ++g) {
+        rbits_.push_back(
+            mem.allocate(name + ".rbits" + std::to_string(g), 0));
+    }
+    wflag_ = mem.allocate(name + ".wflag", 0);
+    wdone_.reserve(m);
+    for (std::uint32_t w = 0; w < m; ++w) {
+        wdone_.push_back(
+            mem.allocate(name + ".wdone" + std::to_string(w), 0));
+    }
+}
+
+// ---- Bit helpers (idempotent: re-running after a crash is harmless) -----
+
+sim::SimTask<void> RecoverableRWLock::set_bit(sim::Process& p,
+                                              std::uint32_t r) {
+    const VarId word = rbits_[group_of(r)];
+    const Word bit = bit_of(r);
+    for (;;) {
+        const Word cur = co_await p.read(word);
+        if ((cur & bit) != 0) {
+            co_return;  // Already present (e.g. set before the crash).
+        }
+        const Word prior = co_await p.cas(word, cur, cur | bit);
+        if (prior == cur) {
+            co_return;
+        }
+    }
+}
+
+sim::SimTask<void> RecoverableRWLock::clear_bit(sim::Process& p,
+                                                std::uint32_t r) {
+    const VarId word = rbits_[group_of(r)];
+    const Word bit = bit_of(r);
+    for (;;) {
+        const Word cur = co_await p.read(word);
+        if ((cur & bit) == 0) {
+            co_return;  // Already absent (e.g. cleared before the crash).
+        }
+        const Word prior = co_await p.cas(word, cur, cur & ~bit);
+        if (prior == cur) {
+            co_return;
+        }
+    }
+}
+
+// ---- Readers -------------------------------------------------------------
+
+sim::SimTask<void> RecoverableRWLock::reader_acquire(sim::Process& p,
+                                                     std::uint32_t r) {
+    for (;;) {
+        // Presence bit BEFORE the writer check: a writer that scans after
+        // our check started either sees the bit (and waits for us) or wrote
+        // wflag first (and we retract + wait for it).
+        co_await set_bit(p, r);
+        const Word w = co_await p.read(wflag_);
+        if (w == 0) {
+            co_return;
+        }
+        co_await clear_bit(p, r);
+        for (;;) {
+            const Word w2 = co_await p.read(wflag_);
+            if (w2 == 0) {
+                break;
+            }
+        }
+    }
+}
+
+sim::SimTask<void> RecoverableRWLock::reader_entry(sim::Process& p,
+                                                   std::uint32_t r) {
+    co_await p.write(rstage_[r], kTrying);
+    co_await reader_acquire(p, r);
+    co_await p.write(rstage_[r], kInCS);
+}
+
+sim::SimTask<void> RecoverableRWLock::reader_exit(sim::Process& p,
+                                                  std::uint32_t r) {
+    co_await p.write(rstage_[r], kExiting);
+    co_await clear_bit(p, r);
+    co_await p.write(rstage_[r], kIdle);
+}
+
+sim::SimTask<void> RecoverableRWLock::reader_recover(sim::Process& p,
+                                                     std::uint32_t r,
+                                                     RecoveryOutcome& out) {
+    const Word s = co_await p.read(rstage_[r]);
+    if (s == kIdle) {
+        out = RecoveryOutcome::None;
+        co_return;
+    }
+    if (s == kTrying) {
+        // Crashed mid-entry (the bit may or may not be set; reader_acquire
+        // is built from idempotent pieces): finish the acquisition.
+        co_await reader_acquire(p, r);
+        co_await p.write(rstage_[r], kInCS);
+        out = RecoveryOutcome::InCriticalSection;
+        co_return;
+    }
+    if (s == kInCS) {
+        // Critical-Section Reentry: our bit is still set, every writer is
+        // blocked on it; O(1) recovery.
+        out = RecoveryOutcome::InCriticalSection;
+        co_return;
+    }
+    // kExiting: finish the retraction.
+    co_await clear_bit(p, r);
+    co_await p.write(rstage_[r], kIdle);
+    out = RecoveryOutcome::LockReleased;
+}
+
+// ---- Writers -------------------------------------------------------------
+
+sim::SimTask<void> RecoverableRWLock::scan_groups(sim::Process& p) {
+    for (const VarId g : rbits_) {
+        for (;;) {
+            const Word bits = co_await p.read(g);
+            if (bits == 0) {
+                break;
+            }
+        }
+    }
+}
+
+sim::SimTask<void> RecoverableRWLock::writer_entry(sim::Process& p,
+                                                   std::uint32_t w) {
+    co_await wl_.enter(p, w);
+    co_await p.write(wflag_, w + 1);
+    co_await scan_groups(p);
+}
+
+sim::SimTask<void> RecoverableRWLock::writer_exit(sim::Process& p,
+                                                  std::uint32_t w) {
+    // Order matters for recover(): wdone is raised strictly before any
+    // release step and lowered strictly after the last one, so wdone == 1
+    // unambiguously means "my CS is over, finish the release for me".
+    co_await p.write(wdone_[w], 1);
+    co_await p.write(wflag_, 0);
+    co_await wl_.exit_slot(p, w);
+    co_await p.write(wdone_[w], 0);
+}
+
+sim::SimTask<void> RecoverableRWLock::writer_recover(sim::Process& p,
+                                                     std::uint32_t w,
+                                                     RecoveryOutcome& out) {
+    RecoveryOutcome wl_out = RecoveryOutcome::None;
+    co_await wl_.recover_slot(p, w, wl_out);
+    if (wl_out == RecoveryOutcome::InCriticalSection) {
+        const Word d = co_await p.read(wdone_[w]);
+        if (d == 1) {
+            // Crashed between raising wdone and releasing wl: finish the
+            // exit. wflag may or may not have been cleared yet; while we
+            // hold wl it is either 0 or our own tag, so the conditional
+            // clear is safe.
+            const Word cur = co_await p.read(wflag_);
+            if (cur == w + 1) {
+                co_await p.write(wflag_, 0);
+            }
+            co_await wl_.exit_slot(p, w);
+            co_await p.write(wdone_[w], 0);
+            out = RecoveryOutcome::LockReleased;
+            co_return;
+        }
+        // Crashed mid-entry or inside the CS: re-publish wflag if the
+        // crash hit before it was written, then re-run the scan (trivial
+        // when we were already in the CS: our wflag has blocked new
+        // readers since before the crash).
+        const Word cur = co_await p.read(wflag_);
+        if (cur != w + 1) {
+            co_await p.write(wflag_, w + 1);
+        }
+        co_await scan_groups(p);
+        out = RecoveryOutcome::InCriticalSection;
+        co_return;
+    }
+    // wl not held: either the release got past wl (wdone still 1) or the
+    // crash hit outside any write passage (or after a completed one).
+    const Word d = co_await p.read(wdone_[w]);
+    if (d == 1) {
+        co_await p.write(wdone_[w], 0);
+        out = RecoveryOutcome::LockReleased;
+        co_return;
+    }
+    // wl Exiting with wdone == 0 cannot happen (wdone is raised before the
+    // wl release starts); treat it as released defensively.
+    out = wl_out == RecoveryOutcome::LockReleased
+              ? RecoveryOutcome::LockReleased
+              : RecoveryOutcome::None;
+}
+
+// ---- Role dispatch -------------------------------------------------------
+
+sim::SimTask<void> RecoverableRWLock::entry(sim::Process& p) {
+    if (p.is_reader()) {
+        co_await reader_entry(p, p.role_index());
+        co_return;
+    }
+    co_await writer_entry(p, p.role_index());
+}
+
+sim::SimTask<void> RecoverableRWLock::exit(sim::Process& p) {
+    if (p.is_reader()) {
+        co_await reader_exit(p, p.role_index());
+        co_return;
+    }
+    co_await writer_exit(p, p.role_index());
+}
+
+sim::SimTask<void> RecoverableRWLock::recover(sim::Process& p,
+                                              RecoveryOutcome& out) {
+    if (p.is_reader()) {
+        co_await reader_recover(p, p.role_index(), out);
+        co_return;
+    }
+    co_await writer_recover(p, p.role_index(), out);
+}
+
+}  // namespace rwr::recover

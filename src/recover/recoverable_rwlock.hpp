@@ -1,0 +1,112 @@
+// Recoverable reader-writer lock layered on the A_f group structure.
+//
+// Structure (core/af_params.hpp conventions: f groups, K = ceil(n/f)
+// readers per group):
+//
+//   rstage[r]   per reader: persistent stage word (Idle/Trying/InCS/Exiting)
+//   rbits[g]    per group: one presence bit per group member (needs K <= 64)
+//   wflag       0 = no writer; w + 1 = writer slot w owns the write phase
+//   wdone[w]    per writer: "my CS is over, I am releasing" marker
+//   wl          an embedded RecoverableTournamentMutex over the m writers
+//
+// Reader entry (O(1) shared variables, like A_f's reader side): set your
+// presence bit in rbits[group] *then* check wflag; if a writer owns the
+// lock, retract the bit, wait for wflag == 0, and retry. Because the bit is
+// set before the check, a writer's group scan can never miss a reader that
+// saw wflag == 0 -- the standard flag/scan handshake, made crash-safe by
+// (a) the persistent rstage word and (b) every bit update being a
+// conditional CAS (idempotent under re-execution).
+//
+// Writer entry: acquire wl, publish wflag = w + 1, then scan the f group
+// words until each reads 0 (Theta(f) RMRs plus the tournament's O(log m),
+// i.e. the writer side of the paper's tradeoff with the recoverable
+// transformation applied). Writer exit: set wdone, clear wflag, release
+// wl, clear wdone -- the wdone marker is what lets recover() distinguish
+// "crashed before my CS ended" (re-publish wflag, re-scan, report
+// InCriticalSection) from "crashed mid-release" (finish the release,
+// report LockReleased). While a writer holds wl, wflag is either 0 or its
+// own tag, so the conditional re-publish/clear cannot clobber another
+// writer.
+//
+// Critical-Section Reentry: a reader that crashes inside the CS keeps its
+// presence bit, so every writer blocks on the scan until the reader
+// recovers (rstage == InCS -> O(1) reentry) and exits; a writer that
+// crashes inside the CS keeps wl and wflag, blocking both writers (at wl)
+// and readers (at wflag) until it recovers. Model-checked exhaustively in
+// tests/test_recover_explore.cpp.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "recover/recoverable_lock.hpp"
+#include "recover/recoverable_mutex.hpp"
+#include "rmr/memory.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::recover {
+
+class RecoverableRWLock final : public RecoverableLock {
+   public:
+    /// n readers in f groups of K = ceil(n/f) (K <= 64 required: one
+    /// presence bit per group member), m writers. Readers are identified by
+    /// role_index in [0, n), writers by role_index in [0, m).
+    RecoverableRWLock(Memory& mem, const std::string& name, std::uint32_t n,
+                      std::uint32_t m, std::uint32_t f);
+
+    sim::SimTask<void> entry(sim::Process& p) override;
+    sim::SimTask<void> exit(sim::Process& p) override;
+    sim::SimTask<void> recover(sim::Process& p, RecoveryOutcome& out) override;
+    [[nodiscard]] std::string name() const override { return "recoverable-rw"; }
+
+    [[nodiscard]] std::uint32_t num_groups() const {
+        return static_cast<std::uint32_t>(rbits_.size());
+    }
+    [[nodiscard]] std::uint32_t group_size() const { return group_size_; }
+
+   private:
+    // Reader stage values (same encoding as the mutex's stage word).
+    static constexpr Word kIdle = RecoverableTournamentMutex::kIdle;
+    static constexpr Word kTrying = RecoverableTournamentMutex::kTrying;
+    static constexpr Word kInCS = RecoverableTournamentMutex::kInCS;
+    static constexpr Word kExiting = RecoverableTournamentMutex::kExiting;
+
+    [[nodiscard]] std::uint32_t group_of(std::uint32_t r) const {
+        return r / group_size_;
+    }
+    [[nodiscard]] Word bit_of(std::uint32_t r) const {
+        return Word{1} << (r % group_size_);
+    }
+
+    /// Idempotent conditional bit set/clear via CAS retry.
+    sim::SimTask<void> set_bit(sim::Process& p, std::uint32_t r);
+    sim::SimTask<void> clear_bit(sim::Process& p, std::uint32_t r);
+
+    /// The flag/check/retract loop shared by fresh entry and Trying
+    /// recovery; ends with the bit set and wflag observed 0.
+    sim::SimTask<void> reader_acquire(sim::Process& p, std::uint32_t r);
+    /// Spin on each group word until it reads 0.
+    sim::SimTask<void> scan_groups(sim::Process& p);
+
+    sim::SimTask<void> reader_entry(sim::Process& p, std::uint32_t r);
+    sim::SimTask<void> reader_exit(sim::Process& p, std::uint32_t r);
+    sim::SimTask<void> reader_recover(sim::Process& p, std::uint32_t r,
+                                      RecoveryOutcome& out);
+    sim::SimTask<void> writer_entry(sim::Process& p, std::uint32_t w);
+    sim::SimTask<void> writer_exit(sim::Process& p, std::uint32_t w);
+    sim::SimTask<void> writer_recover(sim::Process& p, std::uint32_t w,
+                                      RecoveryOutcome& out);
+
+    std::uint32_t n_;
+    std::uint32_t m_;
+    std::uint32_t group_size_;
+    std::vector<VarId> rstage_;  ///< Per reader.
+    std::vector<VarId> rbits_;   ///< Per group.
+    VarId wflag_;
+    std::vector<VarId> wdone_;  ///< Per writer.
+    RecoverableTournamentMutex wl_;
+};
+
+}  // namespace rwr::recover

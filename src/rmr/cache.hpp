@@ -92,6 +92,20 @@ class CacheDirectory {
         exclusive_ = p;
     }
 
+    /// Drop p's copy, whatever its mode, leaving everyone else intact.
+    /// Models the cache of a crash-restarted processor: its lines are gone
+    /// after the restart while main memory (and other caches) persist
+    /// (sim/fault.hpp, FaultKind::CrashRestart).
+    void evict(ProcId p) {
+        if (exclusive_ == p) {
+            exclusive_ = kNone;
+        }
+        if (sharers_.test(p)) {
+            sharers_.reset(p);
+            --num_sharers_;
+        }
+    }
+
     void clear() {
         if (num_sharers_ != 0) {
             sharers_.clear();

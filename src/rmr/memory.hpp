@@ -58,6 +58,18 @@ class Memory {
         return names_.at(v.index);
     }
 
+    /// Drops every cached copy held by `p` (all variables), leaving values
+    /// and other processes' copies intact: the memory side of a
+    /// crash-restart fault (CC models; a no-op under Dsm, which has no
+    /// caches). The evicted process pays a fresh RMR for its next access to
+    /// each variable, which is what makes recovery passages measurably more
+    /// expensive than warm ones.
+    void evict_all(ProcId p) {
+        for (auto& dir : dirs_) {
+            dir.evict(p);
+        }
+    }
+
     [[nodiscard]] bool cached(ProcId p, VarId v) const {
         assert(v.index < dirs_.size());
         return dirs_[v.index].holds(p);

@@ -62,15 +62,20 @@ enum class Protocol : std::uint8_t {
 }
 
 /// Sections of a lock passage; used to attribute RMRs. A process outside any
-/// passage is in Remainder (paper Section 2.1).
+/// passage is in Remainder (paper Section 2.1). Recover is the dedicated
+/// section a crash-restarted process executes in until it has repaired its
+/// passage state (the RME model of Golab-Ramaraju; src/recover/) -- keeping
+/// it distinct lets the accounting separate recovery RMRs from normal
+/// passage RMRs.
 enum class Section : std::uint8_t {
     Remainder = 0,
     Entry = 1,
     Critical = 2,
     Exit = 3,
+    Recover = 4,
 };
 
-inline constexpr int kNumSections = 4;
+inline constexpr int kNumSections = 5;
 
 [[nodiscard]] inline std::string to_string(Section s) {
     switch (s) {
@@ -78,6 +83,7 @@ inline constexpr int kNumSections = 4;
         case Section::Entry: return "entry";
         case Section::Critical: return "critical";
         case Section::Exit: return "exit";
+        case Section::Recover: return "recover";
     }
     return "?";
 }

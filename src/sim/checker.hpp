@@ -130,7 +130,8 @@ class ProgressChecker final : public StepObserver {
             flag_livelock(sys);
         }
         const bool waiting_section = p.section() == Section::Entry ||
-                                     p.section() == Section::Exit;
+                                     p.section() == Section::Exit ||
+                                     p.section() == Section::Recover;
         if (waiting_section && steps_in_section_[id] > window_) {
             flag_starvation(sys, p);
         }
@@ -177,6 +178,8 @@ class ProgressChecker final : public StepObserver {
                 return "critical";
             case Section::Exit:
                 return "exit";
+            case Section::Recover:
+                return "recover";
             default:
                 return "remainder";
         }

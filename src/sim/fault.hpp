@@ -6,6 +6,13 @@
 //     crash-stop model of the recoverable-mutual-exclusion literature,
 //     minus recovery: announcements the victim made in shared memory stay
 //     behind, which is exactly what makes a blocking lock starve).
+//   * CrashRestart -- the crash-*restart* model of that literature (Golab-
+//     Ramaraju; Chan-Woelfel arXiv:2106.03185): the victim's private state
+//     (its coroutine stack) is wiped without observing the step's response
+//     and, under the CC protocols, all of its cached copies are evicted;
+//     shared-memory *values* persist. The process then restarts in
+//     Section::Recover running a task built by its restart factory
+//     (Process::set_restart_factory; see recover/driver.hpp).
 //   * Stall -- the victim is paused for a given number of *global* steps,
 //     modelling a preempted or swapped-out thread, then resumes.
 //
@@ -26,7 +33,7 @@
 
 namespace rwr::sim {
 
-enum class FaultKind : std::uint8_t { Crash, Stall };
+enum class FaultKind : std::uint8_t { Crash, CrashRestart, Stall };
 
 struct FaultSpec {
     ProcId victim = 0;
@@ -35,10 +42,14 @@ struct FaultSpec {
     /// (1 = immediately after its first such step).
     std::uint64_t step_in_section = 1;
     FaultKind kind = FaultKind::Crash;
-    /// Stall only: global steps executed by others before the victim
-    /// resumes. If the rest of the system quiesces first, the stall never
-    /// ends (it degenerates to a crash), since resumption is driven by
-    /// observed steps.
+    /// Stall only: global steps executed by *any* process before the victim
+    /// resumes. Resumption is evaluated only when a step executes, so if
+    /// the rest of the system quiesces (finishes, crashes, or blocks)
+    /// before the window elapses, the stall never ends: the run terminates
+    /// with the victim still stalled() and unfinished -- observationally a
+    /// crash, except num_crashed()/all_surviving_finished() do NOT count it
+    /// (it is a stuck survivor, not a dead process). Pinned by
+    /// FaultInjection.UnresumedStallDegeneratesToACrash.
     std::uint64_t stall_steps = 0;
 };
 
@@ -49,6 +60,12 @@ struct FaultPlan {
                      std::uint64_t step_in_section = 1) {
         faults.push_back({victim, section, step_in_section,
                           FaultKind::Crash, 0});
+        return *this;
+    }
+    FaultPlan& crash_restart(ProcId victim, Section section,
+                             std::uint64_t step_in_section = 1) {
+        faults.push_back({victim, section, step_in_section,
+                          FaultKind::CrashRestart, 0});
         return *this;
     }
     FaultPlan& stall(ProcId victim, Section section,
@@ -98,6 +115,11 @@ class FaultInjector final : public StepObserver {
             ++num_fired_;
             if (spec.kind == FaultKind::Crash) {
                 sys_.process(spec.victim).crash();
+            } else if (spec.kind == FaultKind::CrashRestart) {
+                // Evict first: the restarted process must re-fetch every
+                // variable it touches, including during recovery itself.
+                sys_.memory().evict_all(spec.victim);
+                sys_.process(spec.victim).crash_restart();
             } else {
                 sys_.process(spec.victim).set_stalled(true);
                 stalled_.emplace_back(spec.victim,

@@ -13,9 +13,11 @@
 
 #include <cassert>
 #include <cstdint>
+#include <functional>
 #include <optional>
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 #include "rmr/op.hpp"
 #include "rmr/stats.hpp"
@@ -86,15 +88,52 @@ class Process {
 
     // ---- Fault injection (sim/fault.hpp) --------------------------------
     // A crashed process takes no further steps, ever: its pending op stays
-    // registered but is never executed (the crash-fault model of the RME
+    // registered but is never executed (the crash-stop model of the RME
     // literature, minus recovery). A stalled process is paused until the
-    // injector resumes it.
+    // injector resumes it. A crash-*restarted* process loses its private
+    // state (the coroutine frames) but not the Process identity: a fresh
+    // task built by the restart factory resumes it in Section::Recover.
 
     void crash() {
         crashed_ = true;
         notify();
     }
     [[nodiscard]] bool crashed() const { return crashed_; }
+
+    /// Builds the replacement task a process runs after a crash-restart
+    /// (typically a recovery driver, see recover/driver.hpp). Installing a
+    /// factory is what makes a process restartable; without one a
+    /// CrashRestart fault is an error.
+    using RestartFactory = std::function<SimTask<void>(Process&)>;
+    void set_restart_factory(RestartFactory factory) {
+        restart_factory_ = std::move(factory);
+    }
+    [[nodiscard]] bool restartable() const {
+        return static_cast<bool>(restart_factory_);
+    }
+
+    /// Crash-restart this process at the end of the step currently being
+    /// executed. Must be called from a StepObserver during one of this
+    /// process's own steps (the injector's contract): the step's shared-
+    /// memory effect persists, but the coroutine stack -- the process's
+    /// entire private state -- is destroyed *without being resumed*, so the
+    /// process never observes the step's response. complete_step() then
+    /// installs a fresh task from the restart factory and starts it in
+    /// Section::Recover.
+    void crash_restart() {
+        if (!restart_factory_) {
+            throw std::logic_error(
+                "Process::crash_restart: no restart factory installed");
+        }
+        assert(pending_.has_value() && "crash_restart outside own step");
+        restart_pending_ = true;
+    }
+
+    /// Number of crash-restarts this process has survived.
+    [[nodiscard]] std::uint64_t restarts() const { return restarts_; }
+    /// Section the process was in when it last crash-restarted (meaningful
+    /// only when restarts() > 0); what the RME checkers key CS Reentry on.
+    [[nodiscard]] Section crashed_in() const { return crashed_in_; }
     void set_stalled(bool stalled) {
         stalled_ = stalled;
         notify();
@@ -113,11 +152,29 @@ class Process {
 
     /// Called by System: consume the pending op (System executes it against
     /// the memory), deliver the result, and resume to the next suspension.
+    /// If a crash-restart was requested during this step (by an observer),
+    /// the old coroutine is destroyed *instead of resumed* -- the step's
+    /// memory effect is durable, the private continuation is not -- and the
+    /// restart factory's replacement task starts in Section::Recover.
     void complete_step(const OpResult& result) {
         assert(pending_.has_value());
         pending_.reset();
         op_result_ = result;
         stats_.record(section_, result.rmr);
+        if (restart_pending_) {
+            restart_pending_ = false;
+            crashed_in_ = section_;
+            ++restarts_;
+            section_ = Section::Recover;
+            // Assignment destroys the suspended coroutine stack (nested
+            // frames included) before the new task exists: the wipe.
+            task_ = restart_factory_(*this);
+            started_ = false;
+            resume_point_ = {};
+            notify();  // Momentarily not runnable (no pending op).
+            start();   // Surfaces the recovery task's first pending op.
+            return;
+        }
         resume();
         notify();
     }
@@ -195,6 +252,11 @@ class Process {
     std::coroutine_handle<> resume_point_;
     std::optional<Op> pending_;
     OpResult op_result_;
+
+    RestartFactory restart_factory_;
+    bool restart_pending_ = false;
+    std::uint64_t restarts_ = 0;
+    Section crashed_in_ = Section::Remainder;
 
     Section section_ = Section::Remainder;
     std::uint64_t completed_passages_ = 0;

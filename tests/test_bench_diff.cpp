@@ -1,0 +1,144 @@
+// Unit tests for the bench_compare join/diff engine (harness/bench_diff.hpp)
+// on in-memory documents. The load-bearing behaviour: rows present in the
+// baseline but absent from the new run are a HARD failure (a vanished row
+// would let a regression hide by deleting its row), while rows only the new
+// run has are informational.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "harness/bench_diff.hpp"
+#include "harness/bench_json.hpp"
+
+namespace rwr::harness {
+namespace {
+
+using bench::DiffOptions;
+using bench::DiffReport;
+
+json::Value make_row(const std::string& lock, std::uint64_t n,
+                     double reader_mean, double writer_mean,
+                     double steps_per_sec = 1e6, double wall_ms = 100.0) {
+    auto row = json::Value::object();
+    row.set("lock", lock);
+    row.set("protocol", "write-back");
+    row.set("n", n);
+    row.set("m", std::uint64_t{1});
+    row.set("f", std::uint64_t{1});
+    row.set("threads", n + 1);
+    auto rmr = json::Value::object();
+    rmr.set("reader_mean_passage", reader_mean);
+    rmr.set("reader_max_passage", reader_mean);
+    rmr.set("writer_mean_passage", writer_mean);
+    rmr.set("writer_max_passage", writer_mean);
+    row.set("sim_rmr", std::move(rmr));
+    auto perf = json::Value::object();
+    perf.set("steps", std::uint64_t{1000});
+    perf.set("wall_ms", wall_ms);
+    perf.set("steps_per_sec", steps_per_sec);
+    row.set("sim_perf", std::move(perf));
+    return row;
+}
+
+json::Value* results_of(json::Value& doc) {
+    // make_doc pre-creates "results"; set() replaces it and returns a
+    // mutable reference to the stored value.
+    return &doc.set("results", json::Value::array());
+}
+
+TEST(BenchDiff, IdenticalDocsPass) {
+    auto oldd = bench::make_doc("t");
+    auto newd = bench::make_doc("t");
+    results_of(oldd)->push_back(make_row("af", 8, 10.0, 5.0));
+    results_of(newd)->push_back(make_row("af", 8, 10.0, 5.0));
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.joined, 1u);
+    EXPECT_TRUE(rep.regressions.empty());
+    EXPECT_TRUE(rep.missing.empty());
+    EXPECT_TRUE(rep.added.empty());
+}
+
+TEST(BenchDiff, MissingBaselineRowIsAHardFailure) {
+    auto oldd = bench::make_doc("t");
+    auto newd = bench::make_doc("t");
+    auto* old_rows = results_of(oldd);
+    old_rows->push_back(make_row("af", 8, 10.0, 5.0));
+    old_rows->push_back(make_row("af", 16, 12.0, 5.0));
+    // The new run silently dropped the n=16 cell -- and even improved the
+    // surviving row, which must not mask the missing one.
+    results_of(newd)->push_back(make_row("af", 8, 9.0, 4.0));
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    EXPECT_FALSE(rep.ok());
+    EXPECT_EQ(rep.joined, 1u);
+    EXPECT_TRUE(rep.regressions.empty());
+    ASSERT_EQ(rep.missing.size(), 1u);
+    // The message names the vanished row precisely.
+    EXPECT_EQ(rep.missing[0], "t/af/write-back/n16/m1/f1/t17");
+}
+
+TEST(BenchDiff, AddedRowsAreInformational) {
+    auto oldd = bench::make_doc("t");
+    auto newd = bench::make_doc("t");
+    results_of(oldd)->push_back(make_row("af", 8, 10.0, 5.0));
+    auto* new_rows = results_of(newd);
+    new_rows->push_back(make_row("af", 8, 10.0, 5.0));
+    new_rows->push_back(make_row("af", 16, 12.0, 5.0));
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    EXPECT_TRUE(rep.ok());  // New coverage is fine.
+    ASSERT_EQ(rep.added.size(), 1u);
+    EXPECT_EQ(rep.added[0], "t/af/write-back/n16/m1/f1/t17");
+}
+
+TEST(BenchDiff, SimRmrIncreaseBeyondToleranceRegresses) {
+    auto oldd = bench::make_doc("t");
+    auto newd = bench::make_doc("t");
+    results_of(oldd)->push_back(make_row("af", 8, 10.0, 5.0));
+    results_of(newd)->push_back(make_row("af", 8, 11.5, 5.0));  // +15%
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    EXPECT_FALSE(rep.ok());
+    ASSERT_EQ(rep.regressions.size(), 1u);
+    EXPECT_EQ(rep.regressions[0].metric, "reader_mean_passage");
+    EXPECT_DOUBLE_EQ(rep.regressions[0].before, 10.0);
+    EXPECT_DOUBLE_EQ(rep.regressions[0].after, 11.5);
+    EXPECT_GT(rep.regressions[0].change, 0.10);
+}
+
+TEST(BenchDiff, SimRmrDecreaseIsAnImprovementNotARegression) {
+    auto oldd = bench::make_doc("t");
+    auto newd = bench::make_doc("t");
+    results_of(oldd)->push_back(make_row("af", 8, 10.0, 5.0));
+    results_of(newd)->push_back(make_row("af", 8, 5.0, 2.0));
+    EXPECT_TRUE(bench::diff(oldd, newd, DiffOptions{}).ok());
+}
+
+TEST(BenchDiff, PerfDropGatedByWallClockFloor) {
+    // steps_per_sec halves in both rows, but only the row where both runs
+    // spent >= min_perf_ms of wall time may flag: sub-floor cells measure
+    // scheduler jitter, not engine speed.
+    auto oldd = bench::make_doc("t");
+    auto newd = bench::make_doc("t");
+    auto* old_rows = results_of(oldd);
+    auto* new_rows = results_of(newd);
+    old_rows->push_back(make_row("af", 8, 10.0, 5.0, 1e6, /*wall_ms=*/100.0));
+    new_rows->push_back(make_row("af", 8, 10.0, 5.0, 4e5, /*wall_ms=*/100.0));
+    old_rows->push_back(make_row("af", 16, 10.0, 5.0, 1e6, /*wall_ms=*/0.5));
+    new_rows->push_back(make_row("af", 16, 10.0, 5.0, 4e5, /*wall_ms=*/0.5));
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    ASSERT_EQ(rep.regressions.size(), 1u);
+    EXPECT_EQ(rep.regressions[0].metric, "sim_perf.steps_per_sec");
+    EXPECT_EQ(rep.regressions[0].key, "t/af/write-back/n8/m1/f1/t9");
+}
+
+TEST(BenchDiff, RowKeyUsesDashForAbsentFields) {
+    auto row = json::Value::object();
+    row.set("lock", "native");
+    row.set("n", std::uint64_t{4});
+    row.set("f", std::uint64_t{1});
+    row.set("threads", std::uint64_t{4});
+    row.set("throughput_ops", 1e6);
+    EXPECT_EQ(bench::row_key("b", row), "b/native/-/n4/m-/f1/t4");
+}
+
+}  // namespace
+}  // namespace rwr::harness

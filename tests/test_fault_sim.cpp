@@ -118,6 +118,41 @@ TEST(FaultInjection, StalledReaderOnlyDelaysCompletion) {
     EXPECT_EQ(s.sys.num_crashed(), 0u);
 }
 
+TEST(FaultInjection, UnresumedStallDegeneratesToACrash) {
+    // End-of-window semantics pinned by the FaultSpec::stall_steps comment:
+    // stall resumption is evaluated only when a step executes, so if the
+    // rest of the system quiesces before the window elapses, the stall
+    // never ends. The victim is then observationally a crash -- stuck,
+    // unfinished, not runnable -- EXCEPT that num_crashed() does not count
+    // it: it is a stuck survivor, not a dead process.
+    AfScenario s(/*n=*/2, /*m=*/1, /*f=*/1, /*passages=*/1);
+    FaultInjector injector(
+        s.sys, FaultPlan{}
+                   .stall(/*victim=*/0, Section::Entry, /*step_in_section=*/2,
+                          /*steps=*/100000)
+                   .crash(/*victim=*/1, Section::Entry, 1)
+                   .crash(/*victim=*/2, Section::Entry, 1));
+    s.sys.add_observer(&injector);
+
+    sim::RoundRobinScheduler sched;
+    const auto rr = sim::run(s.sys, sched, /*max_steps=*/50000);
+    s.sys.check_failures();
+
+    // Everyone else crashed, so the system quiesced long before the
+    // 100000-step stall window could elapse...
+    EXPECT_EQ(injector.num_fired(), 3u);
+    EXPECT_LT(s.sys.steps_executed(), 100000u);
+    EXPECT_FALSE(rr.all_finished);
+    // ...leaving the victim permanently stalled: observationally crashed
+    // (never finishes, never runs again) but still alive.
+    const Process& victim = s.sys.process(0);
+    EXPECT_TRUE(victim.stalled());
+    EXPECT_FALSE(victim.finished());
+    EXPECT_FALSE(victim.runnable());
+    EXPECT_FALSE(victim.crashed());
+    EXPECT_EQ(s.sys.num_crashed(), 2u);  // The stalled survivor is not dead.
+}
+
 TEST(FaultInjection, CrashedWriterPastLine18StarvesReaders) {
     // A writer that dies inside the CS holds WL and leaves RSIG = WAIT:
     // readers park on line 36 forever. The watchdog must call it out.
