@@ -26,6 +26,7 @@
 #include "harness/bench_json.hpp"
 #include "native/af_lock.hpp"
 #include "native/baselines.hpp"
+#include "native/park.hpp"
 #include "native/perf.hpp"
 #include "native/shared_mutex.hpp"
 
@@ -145,17 +146,24 @@ BENCHMARK(std_mixed)->Arg(16)->Arg(128)->Threads(4)->UseRealTime()->MinTime(0.05
 
 // ---- JSON perf pipeline (--json) -------------------------------------
 
-int run_json_mode(const std::string& path, std::uint32_t ms) {
+int run_json_mode(const std::string& path, std::uint32_t ms, bool pin) {
     namespace perf = rwr::native::perf;
     namespace bench = rwr::harness::bench;
 
     struct Case {
         perf::PerfLock lock;
         std::uint32_t readers, writers, f;
+        std::uint32_t think_us = 0;
+        std::uint32_t cs_us = 0;
+        bool topology = false;
+        const char* workload = "-";
     };
     // The grid: the uncontended 1r/1w point (the telemetry-overhead
-    // acceptance config), a small contended mix for every lock, and two
-    // A_f f-sweep points (the tradeoff axis the paper is about).
+    // acceptance config), a small contended mix for every lock, two A_f
+    // f-sweep points (the tradeoff axis the paper is about), and the
+    // oversubscribed think-time rows (threads >> cores on CI, waits span
+    // scheduling quanta) where the parking layer earns its keep -- see
+    // EXPERIMENTS.md E13.
     const Case grid[] = {
         {perf::PerfLock::Af, 1, 1, 1},
         {perf::PerfLock::Af, 4, 1, 2},
@@ -165,6 +173,15 @@ int run_json_mode(const std::string& path, std::uint32_t ms) {
         {perf::PerfLock::Centralized, 4, 1, 1},
         {perf::PerfLock::Faa, 4, 1, 1},
         {perf::PerfLock::PhaseFair, 4, 1, 1},
+        // Writer CS dwell (150us) is what makes oversubscription bite:
+        // nanosecond CSes are almost never preempted mid-hold, so without
+        // dwell every wait resolves in the spin/yield stages and
+        // futex_waits stays 0 even at 20 threads on 1 core.
+        {perf::PerfLock::Af, 16, 4, 4, 100, 150, false, "oversub"},
+        {perf::PerfLock::Af, 16, 4, 4, 100, 150, true, "oversub-topo"},
+        {perf::PerfLock::Centralized, 16, 4, 1, 100, 150, false, "oversub"},
+        {perf::PerfLock::Faa, 16, 4, 1, 100, 150, false, "oversub"},
+        {perf::PerfLock::PhaseFair, 16, 4, 1, 100, 150, false, "oversub"},
     };
 
     auto doc = bench::make_doc("native_throughput");
@@ -176,6 +193,12 @@ int run_json_mode(const std::string& path, std::uint32_t ms) {
         cfg.writers = c.writers;
         cfg.f = c.f;
         cfg.duration_ms = ms;
+        cfg.warmup_ms = ms / 4;
+        cfg.think_us = c.think_us;
+        cfg.cs_us = c.cs_us;
+        cfg.pin = pin;
+        cfg.topology = c.topology;
+        cfg.workload = c.workload;
         const auto res = perf::run_perf(cfg);
 
         auto row = rwr::harness::json::Value::object();
@@ -184,17 +207,25 @@ int run_json_mode(const std::string& path, std::uint32_t ms) {
         row.set("m", c.writers);
         row.set("f", cfg.resolved_f());
         row.set("threads", c.readers + c.writers);
+        row.set("workload", cfg.workload);
         row.set("duration_ms", ms);
+        row.set("warmup_ms", cfg.warmup_ms);
+        row.set("think_us", cfg.think_us);
+        row.set("cs_us", cfg.cs_us);
+        row.set("pinning", cfg.pin);
+        row.set("parking", rwr::native::parking_enabled());
         row.set("reader_ops", res.reader_ops);
         row.set("writer_ops", res.writer_ops);
         row.set("throughput_ops", res.throughput_ops());
+        row.set("cpu_s", res.cpu_s);
         row.set("latency_ns", bench::latency_to_json(res.telemetry));
         row.set("telemetry", bench::telemetry_to_json(res.telemetry));
         results.push_back(std::move(row));
         std::cerr << "  " << perf::to_string(c.lock) << " n=" << c.readers
                   << " m=" << c.writers << " f=" << cfg.resolved_f()
-                  << ": " << static_cast<std::uint64_t>(res.throughput_ops())
-                  << " ops/s\n";
+                  << " w=" << cfg.workload << ": "
+                  << static_cast<std::uint64_t>(res.throughput_ops())
+                  << " ops/s, cpu " << res.cpu_s << "s\n";
     }
     bench::write_file(path, doc);
     std::cerr << "wrote " << path << "\n";
@@ -206,19 +237,22 @@ int run_json_mode(const std::string& path, std::uint32_t ms) {
 int main(int argc, char** argv) {
     std::string json_path;
     std::uint32_t ms = 200;
+    bool pin = false;
     std::vector<char*> passthrough{argv[0]};
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
             json_path = argv[++i];
         } else if (std::strcmp(argv[i], "--ms") == 0 && i + 1 < argc) {
             ms = static_cast<std::uint32_t>(std::stoul(argv[++i]));
+        } else if (std::strcmp(argv[i], "--pin") == 0) {
+            pin = true;
         } else {
             passthrough.push_back(argv[i]);
         }
     }
     if (!json_path.empty()) {
         try {
-            return run_json_mode(json_path, ms);
+            return run_json_mode(json_path, ms, pin);
         } catch (const std::exception& e) {
             std::cerr << "bench_native_throughput --json failed: "
                       << e.what() << "\n";

@@ -2,7 +2,7 @@
 // drive it on in-memory documents (tests/test_bench_diff.cpp).
 //
 // diff() joins two rwr-bench-v1 documents on (bench, lock, protocol, n, m,
-// f, threads) and reports three things:
+// f, threads, workload) and reports three things:
 //   * regressions -- metric moved beyond tolerance in the bad direction
 //     (throughput_ops / sim_rmr means / sim_perf.steps_per_sec, see
 //     bench_json.hpp for which direction is bad for each);
@@ -70,7 +70,7 @@ inline std::string row_key(const std::string& bench_name,
     };
     return bench_name + "/" + field("lock") + "/" + field("protocol") +
            "/n" + field("n") + "/m" + field("m") + "/f" + field("f") +
-           "/t" + field("threads");
+           "/t" + field("threads") + "/w" + field("workload");
 }
 
 inline std::map<std::string, const json::Value*> index_rows(

@@ -105,6 +105,26 @@ inline void validate(const json::Value& doc) {
                                          "\"");
             }
         }
+        // Optional row fields added by the parking/placement harness; when
+        // present they must be well typed (a stringly-typed "true" would
+        // silently fork the bench_diff row keyspace).
+        const auto* workload = row.find("workload");
+        if (workload != nullptr &&
+            workload->type() != json::Value::Type::String) {
+            throw std::runtime_error(at + "workload not a string");
+        }
+        for (const char* key : {"pinning", "parking"}) {
+            const auto* v = row.find(key);
+            if (v != nullptr && v->type() != json::Value::Type::Bool) {
+                throw std::runtime_error(at + "\"" + key + "\" not a bool");
+            }
+        }
+        for (const char* key : {"cpu_s", "think_us", "cs_us"}) {
+            const auto* v = row.find(key);
+            if (v != nullptr && !v->is_number()) {
+                throw std::runtime_error(at + "\"" + key + "\" not numeric");
+            }
+        }
         const auto* tput = row.find("throughput_ops");
         const auto* rmr = row.find("sim_rmr");
         const auto* perf = row.find("sim_perf");

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "native/mutex.hpp"
+#include "native/park.hpp"
 #include "native/spin.hpp"
 #include "native/telemetry.hpp"
 
@@ -31,6 +32,7 @@ class CentralizedRWLock {
     void lock_shared(std::uint32_t /*reader_id*/ = 0) {
         RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderEntry); bool contended = false;)
         Backoff backoff;
+        Deadline never = Deadline::infinite();
         for (;;) {
             std::uint64_t cur = state_.load();
             if ((cur & kWriterBit) == 0) {
@@ -42,9 +44,15 @@ class CentralizedRWLock {
                 // escalation -- carrying a slept-once stage into this
                 // fresh race turns a lost CAS into a 1ms nap.
                 backoff.reset();
+                RWR_TELEM(contended = true;)
+                backoff.pause();
+                continue;
             }
             RWR_TELEM(contended = true;)
-            backoff.pause();
+            // Writer present: wait (parked once escalated) for the bit to
+            // clear, then go back around for the CAS.
+            wait_until(spot_, never, RWR_TELEM_PTR(telemetry_), backoff,
+                       [&] { return (state_.load() & kWriterBit) == 0; });
         }
         RWR_TELEM(if (telemetry_) {
             telemetry_->count(TelemetryCounter::kReaderAcquire);
@@ -58,15 +66,21 @@ class CentralizedRWLock {
 
     void unlock_shared(std::uint32_t /*reader_id*/ = 0) {
         RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderExit);)
-        state_.fetch_sub(1);  // Note: native CPUs give us FAA for free; the
-                              // simulated twin uses a CAS loop to stay
-                              // within the paper's primitive set.
+        const std::uint64_t prior =
+            state_.fetch_sub(1);  // Note: native CPUs give us FAA for free;
+                                  // the simulated twin uses a CAS loop to
+                                  // stay within the paper's primitive set.
+        if ((prior & ~kWriterBit) == 1) {
+            // Last reader out: a writer parked on state_ == 0 can now run.
+            spot_.wake_all(RWR_TELEM_PTR(telemetry_));
+        }
         RWR_TELEM(sw.stop();)
     }
 
     void lock(std::uint32_t /*writer_id*/ = 0) {
         RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterEntry); bool contended = false;)
         Backoff backoff;
+        Deadline never = Deadline::infinite();
         for (;;) {
             if (state_.load() == 0) {
                 std::uint64_t expected = 0;
@@ -76,9 +90,13 @@ class CentralizedRWLock {
                 // Observed the hand-off (word was free), lost the race:
                 // the wait for the new holder is a new wait.
                 backoff.reset();
+                RWR_TELEM(contended = true;)
+                backoff.pause();
+                continue;
             }
             RWR_TELEM(contended = true;)
-            backoff.pause();
+            wait_until(spot_, never, RWR_TELEM_PTR(telemetry_), backoff,
+                       [&] { return state_.load() == 0; });
         }
         RWR_TELEM(if (telemetry_) {
             telemetry_->count(TelemetryCounter::kWriterAcquire);
@@ -93,11 +111,16 @@ class CentralizedRWLock {
     void unlock(std::uint32_t /*writer_id*/ = 0) {
         RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterExit);)
         state_.fetch_and(~kWriterBit);
+        // Readers park on the writer bit, writers on state_ == 0; both
+        // become acquirable here.
+        spot_.wake_all(RWR_TELEM_PTR(telemetry_));
         RWR_TELEM(sw.stop();)
     }
 
    private:
     alignas(64) std::atomic<std::uint64_t> state_{0};
+    /// One spot for both sides: the lock has a single wait condition word.
+    alignas(64) ParkingSpot spot_;
 #if RWR_TELEMETRY
     LockTelemetry* telemetry_ = nullptr;
 #endif
@@ -128,13 +151,14 @@ class FaaRWLock {
                 state_.fetch_sub(1);  // Signal like an exit would.
             if ((backout & kWriterBit) != 0 && (backout & kCountMask) == 1) {
                 wgate_.store(1);
+                wgate_spot_.wake_all(RWR_TELEM_PTR(telemetry_));
             }
             RWR_TELEM(contended = true;)
             Backoff backoff;  // Fresh per retry: each rgate wait is one
                               // hand-off (Backoff lifecycle contract).
-            while (rgate_.load() != 1) {
-                backoff.pause();
-            }
+            Deadline never = Deadline::infinite();
+            wait_until(rgate_spot_, never, RWR_TELEM_PTR(telemetry_), backoff,
+                       [&] { return rgate_.load() == 1; });
             RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
         }
         RWR_TELEM(if (telemetry_) {
@@ -151,6 +175,7 @@ class FaaRWLock {
         const std::uint64_t prior = state_.fetch_sub(1);
         if ((prior & kWriterBit) != 0 && (prior & kCountMask) == 1) {
             wgate_.store(1);
+            wgate_spot_.wake_all(RWR_TELEM_PTR(telemetry_));
         }
         RWR_TELEM(sw.stop();)
     }
@@ -164,9 +189,9 @@ class FaaRWLock {
         if ((prior & kCountMask) != 0) {
             RWR_TELEM(contended = true;)
             Backoff backoff;
-            while (wgate_.load() != 1) {
-                backoff.pause();
-            }
+            Deadline never = Deadline::infinite();
+            wait_until(wgate_spot_, never, RWR_TELEM_PTR(telemetry_), backoff,
+                       [&] { return wgate_.load() == 1; });
             RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
         }
         RWR_TELEM(if (telemetry_) {
@@ -182,6 +207,7 @@ class FaaRWLock {
         RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterExit);)
         state_.fetch_sub(kWriterBit);
         rgate_.store(1);
+        rgate_spot_.wake_all(RWR_TELEM_PTR(telemetry_));
         wl_.unlock(writer_id);
         RWR_TELEM(sw.stop();)
     }
@@ -191,6 +217,8 @@ class FaaRWLock {
     alignas(64) std::atomic<std::uint64_t> state_{0};
     alignas(64) std::atomic<std::uint64_t> rgate_{1};
     alignas(64) std::atomic<std::uint64_t> wgate_{0};
+    alignas(64) ParkingSpot rgate_spot_;
+    alignas(64) ParkingSpot wgate_spot_;
 #if RWR_TELEMETRY
     LockTelemetry* telemetry_ = nullptr;
 #endif
@@ -222,9 +250,9 @@ class PhaseFairRWLock {
         if (w != 0) {
             RWR_TELEM(contended = true;)
             Backoff backoff;
-            while ((rin_.load() & kWBits) == w) {
-                backoff.pause();
-            }
+            Deadline never = Deadline::infinite();
+            wait_until(rin_spot_, never, RWR_TELEM_PTR(telemetry_), backoff,
+                       [&] { return (rin_.load() & kWBits) != w; });
             RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
         }
         RWR_TELEM(if (telemetry_) {
@@ -239,6 +267,8 @@ class PhaseFairRWLock {
     void unlock_shared(std::uint32_t /*reader_id*/ = 0) {
         RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderExit);)
         rout_.fetch_add(kRinc);
+        // The phase writer parks on rout_ reaching its reader ticket.
+        rout_spot_.wake_all(RWR_TELEM_PTR(telemetry_));
         RWR_TELEM(sw.stop();)
     }
 
@@ -246,19 +276,18 @@ class PhaseFairRWLock {
         RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterEntry); bool contended = false;)
         const std::uint64_t ticket = win_.fetch_add(1);
         Backoff backoff;
-        while (wout_.load() != ticket) {
-            RWR_TELEM(contended = true;)
-            backoff.pause();
-        }
+        Deadline never = Deadline::infinite();
+        RWR_TELEM(if (wout_.load() != ticket) contended = true;)
+        wait_until(wout_spot_, never, RWR_TELEM_PTR(telemetry_), backoff,
+                   [&] { return wout_.load() == ticket; });
         RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
         const std::uint64_t w = kPres | ((ticket & 1) << 1);
         writer_wbits_.at(writer_id) = w;
         const std::uint64_t rticket = rin_.fetch_add(w) & ~kWBits;
         backoff.reset();  // Second gate of the same passage: new wait.
-        while (rout_.load() != rticket) {
-            RWR_TELEM(contended = true;)
-            backoff.pause();
-        }
+        RWR_TELEM(if (rout_.load() != rticket) contended = true;)
+        wait_until(rout_spot_, never, RWR_TELEM_PTR(telemetry_), backoff,
+                   [&] { return rout_.load() == rticket; });
         RWR_TELEM(if (telemetry_) {
             telemetry_->note_backoff(backoff);
             telemetry_->count(TelemetryCounter::kWriterAcquire);
@@ -272,7 +301,11 @@ class PhaseFairRWLock {
     void unlock(std::uint32_t writer_id) {
         RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterExit);)
         rin_.fetch_sub(writer_wbits_.at(writer_id));
+        // Blocked readers park on the wbits in rin_ clearing.
+        rin_spot_.wake_all(RWR_TELEM_PTR(telemetry_));
         wout_.fetch_add(1);
+        // The next phase writer parks on its wout_ ticket coming up.
+        wout_spot_.wake_all(RWR_TELEM_PTR(telemetry_));
         RWR_TELEM(sw.stop();)
     }
 
@@ -281,6 +314,9 @@ class PhaseFairRWLock {
     alignas(64) std::atomic<std::uint64_t> rout_{0};
     alignas(64) std::atomic<std::uint64_t> win_{0};
     alignas(64) std::atomic<std::uint64_t> wout_{0};
+    alignas(64) ParkingSpot rin_spot_;
+    alignas(64) ParkingSpot rout_spot_;
+    alignas(64) ParkingSpot wout_spot_;
     std::vector<std::uint64_t> writer_wbits_;
 #if RWR_TELEMETRY
     LockTelemetry* telemetry_ = nullptr;

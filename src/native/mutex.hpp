@@ -13,6 +13,7 @@
 #include <memory>
 #include <stdexcept>
 
+#include "native/park.hpp"
 #include "native/spin.hpp"
 #include "native/telemetry.hpp"
 
@@ -73,6 +74,7 @@ class TournamentMutex {
                     const std::uint32_t p = (child - 1) / 2;
                     const int s = child == 2 * p + 1 ? 0 : 1;
                     nodes_[p].flag[s].store(0);
+                    nodes_[p].spot.wake_all(RWR_TELEM_PTR(telemetry_));
                 }
                 RWR_TELEM(if (telemetry_) {
                     telemetry_->count(TelemetryCounter::kMutexAbort);
@@ -107,6 +109,7 @@ class TournamentMutex {
             const std::uint32_t parent = (child - 1) / 2;
             const int side = child == 2 * parent + 1 ? 0 : 1;
             nodes_[parent].flag[side].store(0);
+            nodes_[parent].spot.wake_all(RWR_TELEM_PTR(telemetry_));
         }
     }
 
@@ -119,6 +122,7 @@ class TournamentMutex {
     struct alignas(64) Node {
         std::atomic<std::uint32_t> flag[2] = {0, 0};
         std::atomic<std::uint32_t> victim{0};
+        ParkingSpot spot;  ///< Loser parks; flag clears and victim stores wake.
     };
     static_assert(sizeof(Node) == 64 && alignof(Node) == 64,
                   "one arbitration node per cache line");
@@ -128,25 +132,29 @@ class TournamentMutex {
         Node& node = nodes_[n];
         node.flag[side].store(1);
         node.victim.store(static_cast<std::uint32_t>(side));
-        Backoff backoff;
+        // Our victim store may be exactly what the parked rival waits for.
+        node.spot.wake_all(RWR_TELEM_PTR(telemetry_));
         // Peterson: wait while the rival competes and we are the victim.
         // seq_cst throughout -- Peterson is broken under weaker orderings.
-        for (;;) {
-            if (node.flag[1 - side].load() == 0) {
-                break;
-            }
-            if (node.victim.load() != static_cast<std::uint32_t>(side)) {
-                break;
-            }
-            if (deadline.poll()) {
-                node.flag[side].store(0);
-                RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
-                return false;
-            }
-            waited = true;
-            backoff.pause();
+        const auto may_enter = [&] {
+            return node.flag[1 - side].load() == 0 ||
+                   node.victim.load() != static_cast<std::uint32_t>(side);
+        };
+        if (may_enter()) {
+            return true;
         }
+        waited = true;
+        Backoff backoff;
+        const bool ok = wait_until(node.spot, deadline,
+                                   RWR_TELEM_PTR(telemetry_), backoff,
+                                   may_enter);
         RWR_TELEM(if (telemetry_) telemetry_->note_backoff(backoff);)
+        if (!ok) {
+            node.flag[side].store(0);
+            // The rival may be parked on our flag clearing.
+            node.spot.wake_all(RWR_TELEM_PTR(telemetry_));
+            return false;
+        }
         return true;
     }
 
@@ -175,19 +183,38 @@ class McsMutex {
         }
     }
 
+    /// Attach a telemetry sink (nullptr detaches); reports under the
+    /// mutex_* counters. Attach before starting the workload. Compiled to
+    /// a no-op when RWR_TELEMETRY=0.
+    void attach_telemetry(LockTelemetry* t) {
+        RWR_TELEM(telemetry_ = t;)
+        (void)t;
+    }
+
     void lock(std::uint32_t slot) {
         check_slot(slot);
         Node& me = nodes_[slot];
         me.next.store(0);
         me.locked.store(1);
         const std::uint64_t pred = tail_.exchange(slot + 1);
+        bool waited = false;
         if (pred != 0) {
             nodes_[pred - 1].next.store(slot + 1);
+            // The predecessor may be parked in unlock() waiting for next.
+            nodes_[pred - 1].spot.wake_all(RWR_TELEM_PTR(telemetry_));
+            waited = true;
             Backoff backoff;
-            while (me.locked.load() != 0) {
-                backoff.pause();
-            }
+            Deadline never = Deadline::infinite();
+            wait_until(me.spot, never, RWR_TELEM_PTR(telemetry_), backoff,
+                       [&] { return me.locked.load() == 0; });
         }
+        RWR_TELEM(if (telemetry_) {
+            telemetry_->count(TelemetryCounter::kMutexAcquire);
+            if (waited) {
+                telemetry_->count(TelemetryCounter::kMutexContended);
+            }
+        })
+        (void)waited;
     }
 
     void unlock(std::uint32_t slot) {
@@ -199,21 +226,28 @@ class McsMutex {
             if (tail_.compare_exchange_strong(expected, 0)) {
                 return;
             }
+            // A successor swapped the tail but has not linked yet; its
+            // next.store is imminent, but under oversubscription "imminent"
+            // can still mean a full scheduling quantum away.
             Backoff backoff;
-            while ((nxt = me.next.load()) == 0) {
-                backoff.pause();
-            }
+            Deadline never = Deadline::infinite();
+            wait_until(me.spot, never, RWR_TELEM_PTR(telemetry_), backoff,
+                       [&] { return me.next.load() != 0; });
+            nxt = me.next.load();
         }
         nodes_[nxt - 1].locked.store(0);
+        nodes_[nxt - 1].spot.wake_all(RWR_TELEM_PTR(telemetry_));
     }
 
    private:
     // locked/next sit on one line by design: both are written by the
     // predecessor during hand-off and read by the owner; separate slots'
-    // nodes must not pack together.
+    // nodes must not pack together. The spot joins them: its wakers are
+    // exactly the writers of locked/next.
     struct alignas(64) Node {
         std::atomic<std::uint64_t> locked{0};
         std::atomic<std::uint64_t> next{0};
+        ParkingSpot spot;
     };
     static_assert(sizeof(Node) == 64 && alignof(Node) == 64,
                   "one queue node per cache line");
@@ -227,6 +261,9 @@ class McsMutex {
     std::uint32_t m_;
     alignas(64) std::atomic<std::uint64_t> tail_{0};
     std::unique_ptr<Node[]> nodes_;
+#if RWR_TELEMETRY
+    LockTelemetry* telemetry_ = nullptr;
+#endif
 };
 
 class TasMutex {

@@ -130,6 +130,14 @@ class Deadline {
                *when_ == std::chrono::steady_clock::time_point::min();
     }
 
+    /// The absolute expiry instant; nullopt for infinite deadlines. The
+    /// parking layer hands this to FUTEX_WAIT_BITSET so kernel waits end
+    /// *at* the deadline instead of a sleep slice past it.
+    [[nodiscard]] std::optional<std::chrono::steady_clock::time_point> when()
+        const {
+        return when_;
+    }
+
     /// True once the deadline has passed. Reads the clock at most every
     /// kStride calls; infinite and immediate deadlines never touch it.
     /// Expiry latches: once any clock read has observed the deadline

@@ -42,8 +42,14 @@
 
 #if RWR_TELEMETRY
 #define RWR_TELEM(...) __VA_ARGS__
+/// Evaluates to the lock's telemetry pointer member in telemetry builds and
+/// to nullptr otherwise -- for passing the sink into layers (the parking
+/// spots) whose *behaviour* exists in both builds but whose counting does
+/// not. The argument is not evaluated (not even named) when off.
+#define RWR_TELEM_PTR(expr) (expr)
 #else
 #define RWR_TELEM(...)
+#define RWR_TELEM_PTR(expr) (static_cast<::rwr::native::LockTelemetry*>(nullptr))
 #endif
 
 namespace rwr::native {
@@ -63,6 +69,9 @@ enum class TelemetryCounter : std::uint32_t {
     kMutexAbort,          ///< Failed try/timed mutex acquisitions.
     kBackoffYield,        ///< Waits that escalated pause -> yield.
     kBackoffSleep,        ///< Waits that escalated yield -> sleep.
+    kFutexWait,           ///< Kernel (or portable-fallback) parked waits.
+    kFutexWake,           ///< Wake calls issued with waiters registered.
+    kParkAbort,           ///< Parked waits ended by deadline expiry.
     kNumCounters
 };
 
@@ -96,6 +105,9 @@ inline const char* to_string(TelemetryCounter c) {
         case TelemetryCounter::kMutexAbort: return "mutex_aborts";
         case TelemetryCounter::kBackoffYield: return "backoff_yield_transitions";
         case TelemetryCounter::kBackoffSleep: return "backoff_sleep_transitions";
+        case TelemetryCounter::kFutexWait: return "futex_waits";
+        case TelemetryCounter::kFutexWake: return "futex_wakes";
+        case TelemetryCounter::kParkAbort: return "park_aborts";
         default: return "?";
     }
 }

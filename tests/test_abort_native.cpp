@@ -182,6 +182,67 @@ TEST(AfLockAbort, AbortingReaderDoesNotStrandTheWriter) {
     expect_lock_intact(lock);
 }
 
+// ---- Timed-acquisition overshoot regression --------------------------------
+
+// Parked timed waits carry the deadline into the kernel as an *absolute*
+// timeout, so a blocked timed acquisition returns when its clock runs out --
+// not when the holder eventually releases, and not quantised to backoff
+// sleep slices. The holder here keeps the lock until both waiters have
+// returned: a waiter that ignores its deadline while parked would deadlock
+// the join (caught loudly by the CTest TIMEOUT), and the elapsed-time bound
+// documents the tolerated overshoot. Bounds are generous on purpose: this
+// test runs under TSan on loaded 1-core CI hosts.
+TEST(AfLockAbort, TimedWaitsDoNotOvershootWhileParked) {
+    using Clock = std::chrono::steady_clock;
+    constexpr auto kTimeout = 60ms;
+    constexpr auto kMaxOvershoot = 2s;
+    AfLock lock(2, 2, 1);
+    lock.lock(0);  // RSIG = WAIT and WL held: both timed paths must block.
+    std::atomic<long> reader_ms{-1};
+    std::atomic<long> writer_ms{-1};
+    std::thread reader([&] {
+        const auto t0 = Clock::now();
+        EXPECT_FALSE(lock.try_lock_shared_for(0, kTimeout));
+        reader_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - t0)
+                            .count());
+    });
+    std::thread writer([&] {
+        const auto t0 = Clock::now();
+        EXPECT_FALSE(lock.try_lock_for(1, kTimeout));
+        writer_ms.store(std::chrono::duration_cast<std::chrono::milliseconds>(
+                            Clock::now() - t0)
+                            .count());
+    });
+    reader.join();
+    writer.join();
+    lock.unlock(0);  // Only now: the waiters timed out on their own clocks.
+    for (const auto& ms : {&reader_ms, &writer_ms}) {
+        EXPECT_GE(ms->load(), 60);
+        EXPECT_LT(ms->load(),
+                  std::chrono::duration_cast<std::chrono::milliseconds>(
+                      kTimeout + kMaxOvershoot)
+                      .count());
+    }
+    expect_lock_intact(lock);
+}
+
+TEST(TournamentMutexAbort, TimedClimbDoesNotOvershootWhileParked) {
+    using Clock = std::chrono::steady_clock;
+    TournamentMutex mx(4);
+    mx.lock(0);
+    const auto t0 = Clock::now();
+    EXPECT_FALSE(mx.try_lock_for(2, 60ms));
+    const auto elapsed = Clock::now() - t0;
+    mx.unlock(0);  // Released only after the waiter gave up by itself.
+    EXPECT_GE(elapsed, 60ms);
+    EXPECT_LT(elapsed, 60ms + 2s);
+    for (std::uint32_t s = 0; s < 4; ++s) {
+        EXPECT_TRUE(mx.try_lock(s));
+        mx.unlock(s);
+    }
+}
+
 // ---- Misuse detection ------------------------------------------------------
 
 #if RWR_AF_MISUSE_CHECKS

@@ -74,7 +74,7 @@ TEST(BenchDiff, MissingBaselineRowIsAHardFailure) {
     EXPECT_TRUE(rep.regressions.empty());
     ASSERT_EQ(rep.missing.size(), 1u);
     // The message names the vanished row precisely.
-    EXPECT_EQ(rep.missing[0], "t/af/write-back/n16/m1/f1/t17");
+    EXPECT_EQ(rep.missing[0], "t/af/write-back/n16/m1/f1/t17/w-");
 }
 
 TEST(BenchDiff, AddedRowsAreInformational) {
@@ -87,7 +87,7 @@ TEST(BenchDiff, AddedRowsAreInformational) {
     const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
     EXPECT_TRUE(rep.ok());  // New coverage is fine.
     ASSERT_EQ(rep.added.size(), 1u);
-    EXPECT_EQ(rep.added[0], "t/af/write-back/n16/m1/f1/t17");
+    EXPECT_EQ(rep.added[0], "t/af/write-back/n16/m1/f1/t17/w-");
 }
 
 TEST(BenchDiff, SimRmrIncreaseBeyondToleranceRegresses) {
@@ -127,7 +127,7 @@ TEST(BenchDiff, PerfDropGatedByWallClockFloor) {
     const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
     ASSERT_EQ(rep.regressions.size(), 1u);
     EXPECT_EQ(rep.regressions[0].metric, "sim_perf.steps_per_sec");
-    EXPECT_EQ(rep.regressions[0].key, "t/af/write-back/n8/m1/f1/t9");
+    EXPECT_EQ(rep.regressions[0].key, "t/af/write-back/n8/m1/f1/t9/w-");
 }
 
 TEST(BenchDiff, RowKeyUsesDashForAbsentFields) {
@@ -137,7 +137,18 @@ TEST(BenchDiff, RowKeyUsesDashForAbsentFields) {
     row.set("f", std::uint64_t{1});
     row.set("threads", std::uint64_t{4});
     row.set("throughput_ops", 1e6);
-    EXPECT_EQ(bench::row_key("b", row), "b/native/-/n4/m-/f1/t4");
+    EXPECT_EQ(bench::row_key("b", row), "b/native/-/n4/m-/f1/t4/w-");
+}
+
+TEST(BenchDiff, WorkloadIsPartOfTheRowKey) {
+    // An oversubscribed row and the plain row of the same config must not
+    // join against each other -- they measure different workloads.
+    auto plain = make_row("af", 8, 10.0, 5.0);
+    auto oversub = make_row("af", 8, 10.0, 5.0);
+    oversub.set("workload", "oversub");
+    EXPECT_NE(bench::row_key("t", plain), bench::row_key("t", oversub));
+    EXPECT_EQ(bench::row_key("t", oversub),
+              "t/af/write-back/n8/m1/f1/t9/woversub");
 }
 
 }  // namespace

@@ -4,6 +4,8 @@
 // histogram bucketing/quantiles, and detachment semantics.
 #include <gtest/gtest.h>
 
+#include <atomic>
+#include <chrono>
 #include <mutex>
 #include <shared_mutex>
 #include <thread>
@@ -11,6 +13,7 @@
 
 #include "native/af_lock.hpp"
 #include "native/baselines.hpp"
+#include "native/park.hpp"
 #include "native/shared_mutex.hpp"
 #include "native/telemetry.hpp"
 
@@ -246,6 +249,86 @@ TEST(TelemetryTest, BackoffStageNoting) {
     const auto snap = telemetry.aggregate();
     EXPECT_EQ(snap.count(TelemetryCounter::kBackoffYield), 1u);
     EXPECT_EQ(snap.count(TelemetryCounter::kBackoffSleep), 0u);
+}
+
+// ---- Parking counters ------------------------------------------------------
+
+TEST(TelemetryTest, ParkTimeoutCountsAreExact) {
+    // Single-threaded and fully deterministic: nobody wakes the spot, so
+    // the timed park must run to its deadline. One kernel wait per park
+    // call (spurious EINTR wakes re-park and re-count), exactly one abort
+    // for the final timeout, zero wakes.
+    LockTelemetry telemetry;
+    ParkingSpot spot;
+    Deadline deadline = Deadline::after(std::chrono::milliseconds(20));
+    std::uint64_t parks = 0;
+    ParkResult r;
+    do {
+        r = spot.park(deadline, &telemetry, [] { return false; });
+        ++parks;
+    } while (r == ParkResult::kUnparked);
+    EXPECT_EQ(r, ParkResult::kTimedOut);
+    const auto snap = telemetry.aggregate();
+    EXPECT_EQ(snap.count(TelemetryCounter::kFutexWait), parks);
+    EXPECT_EQ(snap.count(TelemetryCounter::kParkAbort), 1u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kFutexWake), 0u);
+}
+
+TEST(TelemetryTest, WakeIsCountedWhenAWaiterIsParked) {
+    // wake_all only counts when it observes a registered waiter. A round
+    // where the waiter demonstrably reached the kernel (it recorded a
+    // futex wait) must therefore have counted exactly one wake. The first
+    // round virtually always parks; 100 attempts bound the loop.
+    for (int round = 0; round < 100; ++round) {
+        LockTelemetry waiter_t;
+        LockTelemetry waker_t;
+        ParkingSpot spot;
+        std::atomic<bool> flag{false};
+        std::thread waiter([&] {
+            Deadline never = Deadline::infinite();
+            while (!flag.load()) {
+                spot.park(never, &waiter_t, [&] { return flag.load(); });
+            }
+        });
+        while (spot.waiters() == 0) {
+            std::this_thread::yield();
+        }
+        flag.store(true);
+        spot.wake_all(&waker_t);
+        waiter.join();
+        const auto ws = waiter_t.aggregate();
+        const auto ks = waker_t.aggregate();
+        if (ws.count(TelemetryCounter::kFutexWait) >= 1 &&
+            ks.count(TelemetryCounter::kFutexWake) == 1) {
+            EXPECT_EQ(ws.count(TelemetryCounter::kParkAbort), 0u);
+            return;
+        }
+    }
+    FAIL() << "no round ever parked-and-woke; parking path likely broken";
+}
+
+TEST(TelemetryTest, ContendedTimedReaderParksAndAbortsExactlyOnce) {
+    ASSERT_TRUE(parking_enabled())
+        << "RWR_PARK=0 leaked into the test environment";
+    LockTelemetry telemetry;
+    AfLock lock(2, 1, 1);
+    lock.attach_telemetry(&telemetry);
+    lock.lock(0);  // RSIG = WAIT: the timed reader below must block.
+    std::thread reader([&] {
+        // 500ms: ample for the backoff to escalate spin -> yield -> park
+        // even under TSan, then the parked wait times out on its own.
+        EXPECT_FALSE(
+            lock.try_lock_shared_for(1, std::chrono::milliseconds(500)));
+    });
+    reader.join();
+    lock.unlock(0);
+    const auto snap = telemetry.aggregate();
+    EXPECT_GE(snap.count(TelemetryCounter::kFutexWait), 1u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kParkAbort), 1u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kReaderAbort), 1u);
+    // The reader was gone before the writer released, and the writer
+    // acquired uncontended: no wake was ever due.
+    EXPECT_EQ(snap.count(TelemetryCounter::kFutexWake), 0u);
 }
 
 }  // namespace
