@@ -16,6 +16,20 @@
 // over crash timing, complementing the schedule adversaries of
 // bench_lowerbound.
 //
+// Phase 3 (E14): the recoverable tournament mutex (rmx, Theta(log n) RMRs
+// per passage) against the JJJ ticket-tree mutex (rjjj, height
+// log m / log log m) over growing m and crash counts under identical
+// RoundRobin schedules. The separation check -- rjjj mean passage RMRs
+// strictly below rmx's at the largest crash-free m -- is an exit-code
+// assertion, not just a printout. Rows: "e14-rmx-cN" / "e14-rjjj-cN".
+//
+// Phase 4 (E14b): adversarial crash schedules from recover/crash_adversary
+// (nested crash-during-recovery, crash storms, round-robin victim
+// rotation) for both mutexes; fails on any ME/CSR/bounded-recovery
+// violation and reports the worst schedule found plus pooled passage /
+// recovery RMR distributions. Rows: "e14adv-rmx" / "e14adv-rjjj", each
+// augmented with an "adversary" summary object.
+//
 // Determinism: RoundRobin scheduling + step-indexed fault firing makes
 // every cell a pure function of its config, so --jobs N is bit-identical
 // for every N (pinned by test_recover.cpp).
@@ -25,7 +39,8 @@
 //                  of the lock name ("rmx-c2", "rrw-c4") so each grid cell
 //                  keys a distinct row for bench_compare; each row carries
 //                  sim_rmr + sim_perf plus a "recover" object {restarts,
-//                  max_recovery_steps, recover-section mean RMRs}.
+//                  max_recovery_steps, recover-section mean RMRs,
+//                  chain-recovery max, recovery-episode count/mean/max}.
 //   --jobs N       worker threads (default: hardware concurrency).
 //   --max-n N      truncate the rrw reader sweep.
 //   --smoke        CI-sized grid (seconds, not minutes).
@@ -38,6 +53,7 @@
 #include "harness/bench_json.hpp"
 #include "harness/parallel.hpp"
 #include "harness/table.hpp"
+#include "recover/crash_adversary.hpp"
 #include "recover/recover_experiment.hpp"
 #include "sim/fault.hpp"
 
@@ -48,6 +64,10 @@ using namespace rwr::harness;
 using recover::RecoverExperimentConfig;
 using recover::RecoverExperimentResult;
 using recover::RecoverLockKind;
+
+bool is_mutex_kind(RecoverLockKind k) {
+    return k == RecoverLockKind::Mutex || k == RecoverLockKind::JJJMutex;
+}
 
 struct Cell {
     RecoverLockKind lock;
@@ -72,7 +92,7 @@ sim::FaultPlan crash_plan(std::uint32_t crashes, std::uint32_t num_procs) {
 }
 
 std::uint32_t num_procs_of(const Cell& c) {
-    return c.lock == RecoverLockKind::Mutex ? c.m : c.n + c.m;
+    return is_mutex_kind(c.lock) ? c.m : c.n + c.m;
 }
 
 RecoverExperimentConfig config_for(const Cell& c) {
@@ -99,14 +119,14 @@ struct Placement {
     std::uint64_t step;
 };
 
-void json_row(json::Value* results, const std::string& lock,
-              const RecoverExperimentConfig& cfg,
-              const RecoverExperimentResult& res,
-              const Placement* placement = nullptr) {
+json::Value* json_row(json::Value* results, const std::string& lock,
+                      const RecoverExperimentConfig& cfg,
+                      const RecoverExperimentResult& res,
+                      const Placement* placement = nullptr) {
     if (results == nullptr) {
-        return;
+        return nullptr;
     }
-    const bool mutex = cfg.lock == RecoverLockKind::Mutex;
+    const bool mutex = is_mutex_kind(cfg.lock);
     auto row = json::Value::object();
     row.set("lock", lock);
     row.set("protocol", to_string(cfg.protocol));
@@ -133,15 +153,19 @@ void json_row(json::Value* results, const std::string& lock,
     auto rec = json::Value::object();
     rec.set("restarts", res.restarts);
     rec.set("max_recovery_steps", res.max_recovery_steps);
+    rec.set("max_chain_recovery_steps", res.max_chain_recovery_steps);
     rec.set("reader_recover_mean", res.readers.mean_in(Section::Recover));
     rec.set("writer_recover_mean", res.writers.mean_in(Section::Recover));
+    rec.set("recovery_episodes", res.recovery.episodes);
+    rec.set("recovery_mean_rmrs", res.recovery.mean_rmrs);
+    rec.set("recovery_max_rmrs", res.recovery.max_rmrs);
     if (placement != nullptr) {
         rec.set("victim", static_cast<std::uint64_t>(placement->victim));
         rec.set("section", to_string(placement->section));
         rec.set("step_in_section", placement->step);
     }
     row.set("recover", std::move(rec));
-    results->push_back(std::move(row));
+    return &results->push_back(std::move(row));
 }
 
 /// Checks one finished cell; prints and counts any failure.
@@ -299,6 +323,177 @@ bool run_worst_case(const std::string& label, RecoverExperimentConfig base,
     return ok;
 }
 
+// ---- Phase 3 (E14): tournament vs JJJ, crash rates + adversary ------------
+
+/// Sub-logarithmic vs Theta(log n): sweeps both recoverable mutexes over
+/// growing m and crash counts under identical RoundRobin schedules. The
+/// separation check is part of the binary: at the largest crash-free m the
+/// JJJ mean passage RMRs must sit strictly below the tournament's (the
+/// height term log m vs log m / log log m is what E14 exists to show).
+bool run_e14_grid(bool smoke, unsigned jobs, json::Value* results) {
+    // Smoke tops out at m=16: the first size where the JJJ tree is strictly
+    // shorter than the tournament's (height 2 vs 4) by enough to beat its
+    // larger per-node constant. (At m=8 and m=32 the ceil() height steps
+    // land the two within noise of each other; the full grid shows the
+    // separation re-opening at m=64.)
+    const std::vector<std::uint32_t> ms =
+        smoke ? std::vector<std::uint32_t>{2, 16}
+              : std::vector<std::uint32_t>{2, 4, 8, 16, 32, 64};
+    const std::vector<std::uint32_t> crash_counts =
+        smoke ? std::vector<std::uint32_t>{0, 2}
+              : std::vector<std::uint32_t>{0, 2, 4};
+    struct E14Cell {
+        RecoverLockKind lock;
+        std::uint32_t m;
+        std::uint32_t crashes;
+    };
+    std::vector<E14Cell> cells;
+    for (const std::uint32_t m : ms) {
+        for (const std::uint32_t c : crash_counts) {
+            cells.push_back({RecoverLockKind::Mutex, m, c});
+            cells.push_back({RecoverLockKind::JJJMutex, m, c});
+        }
+    }
+    std::vector<RecoverExperimentConfig> cfgs;
+    cfgs.reserve(cells.size());
+    for (const E14Cell& c : cells) {
+        RecoverExperimentConfig cfg;
+        cfg.lock = c.lock;
+        cfg.n = 0;
+        cfg.m = c.m;
+        cfg.f = 1;
+        cfg.passages = 3;
+        cfg.cs_steps = 1;
+        cfg.sched = SchedKind::RoundRobin;
+        cfg.faults = crash_plan(c.crashes, c.m);
+        cfgs.push_back(cfg);
+    }
+    std::vector<RecoverExperimentResult> res(cfgs.size());
+    parallel_for(cfgs.size(), jobs, [&](std::size_t i) {
+        res[i] = recover::run_recover_experiment(cfgs[i]);
+    });
+
+    std::cout << "\n=== E14: recoverable tournament (rmx) vs JJJ ticket tree "
+                 "(rjjj) ===\n"
+              << "(identical RoundRobin schedules; mean/max passage RMRs "
+                 "and recovery episode RMRs)\n";
+    Table t({"lock", "m", "crashes", "mean passage", "max passage",
+             "restarts", "rec episodes", "rec mean rmrs", "rec max rmrs"});
+    bool ok = true;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const E14Cell& c = cells[i];
+        const RecoverExperimentResult& r = res[i];
+        const std::string name = "e14-" + to_string(c.lock) + "-c" +
+                                 std::to_string(c.crashes);
+        ok = cell_ok(name + " m=" + std::to_string(c.m), r) && ok;
+        json_row(results, name, cfgs[i], r);
+        t.row({to_string(c.lock), fmt(c.m), fmt(c.crashes),
+               fmt(r.writers.mean_passage_rmrs),
+               fmt(r.writers.max_passage_rmrs), fmt(r.restarts),
+               fmt(r.recovery.episodes), fmt(r.recovery.mean_rmrs),
+               fmt(r.recovery.max_rmrs)});
+    }
+    t.print();
+
+    // The separation check, on the largest crash-free cells.
+    const std::uint32_t top_m = ms.back();
+    double rmx_mean = 0;
+    double rjjj_mean = 0;
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        if (cells[i].m != top_m || cells[i].crashes != 0) {
+            continue;
+        }
+        (cells[i].lock == RecoverLockKind::Mutex ? rmx_mean : rjjj_mean) =
+            res[i].writers.mean_passage_rmrs;
+    }
+    std::cout << "separation @ m=" << top_m << " (crash-free): rmx "
+              << fmt(rmx_mean) << " vs rjjj " << fmt(rjjj_mean) << "\n";
+    if (!(rjjj_mean < rmx_mean)) {
+        std::cerr << "FAIL e14: JJJ mean passage RMRs (" << fmt(rjjj_mean)
+                  << ") not below the tournament's (" << fmt(rmx_mean)
+                  << ") at m=" << top_m << "\n";
+        ok = false;
+    }
+    return ok;
+}
+
+/// Adversarial crash schedules (nested, storms, round-robin victims) for
+/// both mutexes; reports the worst schedule found and the pooled passage /
+/// recovery RMR distributions, and fails on any ME/CSR/bound violation.
+bool run_e14_adversary(bool smoke, unsigned jobs, json::Value* results) {
+    std::cout << "\n=== E14b: adversarial crash schedules (nested + storms "
+                 "+ round-robin victims) ===\n";
+    Table t({"lock", "m", "candidates", "unfired", "worst schedule", "score",
+             "psg mean", "psg max", "rec mean", "rec max", "restarts"});
+    bool ok = true;
+    for (const RecoverLockKind kind :
+         {RecoverLockKind::Mutex, RecoverLockKind::JJJMutex}) {
+        recover::CrashAdversaryConfig acfg;
+        acfg.base.lock = kind;
+        acfg.base.n = 0;
+        acfg.base.m = smoke ? 2 : 3;
+        acfg.base.f = 1;
+        acfg.base.passages = 2;
+        acfg.base.cs_steps = 1;
+        acfg.base.sched = SchedKind::RoundRobin;
+        acfg.max_step = smoke ? 4 : 8;
+        acfg.storm_depth = 3;
+
+        // Evaluate candidates in parallel; reduce deterministically (the
+        // reduction is a pure fold in enumeration order, so the report is
+        // bit-identical for any --jobs).
+        const auto candidates = recover::enumerate_candidates(acfg);
+        std::vector<recover::AdversaryOutcome> outcomes(candidates.size());
+        parallel_for(candidates.size(), jobs, [&](std::size_t i) {
+            outcomes[i] = recover::evaluate_candidate(acfg, candidates[i], i);
+        });
+        const auto rep = recover::reduce_outcomes(outcomes);
+
+        const std::string label = "e14adv-" + to_string(kind);
+        if (rep.me_violations != 0 || rep.rme_violations != 0) {
+            std::cerr << "FAIL " << label << ": " << rep.me_violations
+                      << " ME + " << rep.rme_violations
+                      << " RME violation(s) across " << rep.candidates
+                      << " adversarial schedules; first: "
+                      << rep.first_violation << "\n";
+            ok = false;
+        }
+        if (rep.candidates == rep.discarded_unfired) {
+            std::cerr << "FAIL " << label << ": no schedule fully fired\n";
+            ok = false;
+            continue;
+        }
+        t.row({to_string(kind), fmt(acfg.base.m), fmt(rep.candidates),
+               fmt(rep.discarded_unfired), rep.worst.candidate.label,
+               fmt(rep.worst.score), fmt(rep.passage_rmrs.mean),
+               fmt(rep.passage_rmrs.max), fmt(rep.recovery_rmrs.mean),
+               fmt(rep.recovery_rmrs.max), fmt(rep.total_restarts)});
+
+        if (results != nullptr) {
+            RecoverExperimentConfig worst_cfg = acfg.base;
+            worst_cfg.faults = rep.worst.candidate.plan;
+            // Augment the worst-case row with the search-wide summary.
+            json::Value& row =
+                *json_row(results, label, worst_cfg, rep.worst.result);
+            auto adv = json::Value::object();
+            adv.set("candidates", rep.candidates);
+            adv.set("discarded_unfired", rep.discarded_unfired);
+            adv.set("worst_family",
+                    std::string(to_string(rep.worst.candidate.family)));
+            adv.set("worst_schedule", rep.worst.candidate.label);
+            adv.set("worst_score", rep.worst.score);
+            adv.set("passage_rmrs_mean", rep.passage_rmrs.mean);
+            adv.set("passage_rmrs_max", rep.passage_rmrs.max);
+            adv.set("recovery_rmrs_mean", rep.recovery_rmrs.mean);
+            adv.set("recovery_rmrs_max", rep.recovery_rmrs.max);
+            adv.set("total_restarts", rep.total_restarts);
+            row.set("adversary", std::move(adv));
+        }
+    }
+    t.print();
+    return ok;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -349,6 +544,9 @@ int main(int argc, char** argv) {
         base.sched = SchedKind::RoundRobin;
         ok = run_worst_case("rrw", base, max_step, jobs, results) && ok;
     }
+
+    ok = run_e14_grid(smoke, jobs, results) && ok;
+    ok = run_e14_adversary(smoke, jobs, results) && ok;
 
     if (results != nullptr) {
         try {

@@ -152,6 +152,12 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
     res.finished = finished;
     res.all_surviving_finished = b.sys->all_surviving_finished();
     res.crashed = b.sys->num_crashed();
+    res.stalled_at_exit = b.sys->num_stalled();
+    if (injector) {
+        // Hard error when the plan demanded every fault fire and one
+        // missed (require_all_fired; per-fault diagnostics in the throw).
+        injector->assert_all_fired();
+    }
     if (b.checker) {
         res.max_concurrent_readers = b.checker->max_concurrent_readers();
         res.me_violations = b.checker->violations();

@@ -84,6 +84,9 @@ struct ExperimentResult {
     // ---- Robustness outcomes --------------------------------------------
     bool all_surviving_finished = false;  ///< Finished modulo crashed procs.
     std::uint32_t crashed = 0;            ///< Processes killed by the plan.
+    /// Stall victims whose resume window never elapsed before the run
+    /// ended: stuck survivors, unfinished yet not counted by `crashed`.
+    std::uint32_t stalled_at_exit = 0;
     bool livelock = false;                ///< ProgressChecker: global stall.
     bool starvation = false;              ///< ProgressChecker: stuck process.
     std::string progress_diagnosis;       ///< Dump at first detection.

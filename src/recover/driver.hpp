@@ -40,6 +40,12 @@ struct RecoverDriveConfig {
     /// steps stay in the process totals but the per-passage snapshot is
     /// lost with the coroutine).
     std::vector<sim::PassageRecord>* records = nullptr;
+    /// Optional per-recovery-episode deltas: the stats accrued from restart
+    /// until the lock's recover() returned its verdict (the Recover-section
+    /// entries of the delta are the episode's repair cost). One record per
+    /// *completed* recovery; an episode cut short by a nested crash is
+    /// subsumed by the final episode of its chain.
+    std::vector<sim::PassageRecord>* recovery_records = nullptr;
 };
 
 /// Runs one passage from the CS onwards: CS local steps, exit section,
@@ -78,6 +84,9 @@ inline sim::SimTask<void> recover_and_drive(RecoverableLock& lock,
     const SectionStats before = p.stats();
     RecoveryOutcome out = RecoveryOutcome::None;
     co_await lock.recover(p, out);
+    if (cfg.recovery_records != nullptr) {
+        cfg.recovery_records->push_back(sim::PassageRecord{p.stats() - before});
+    }
     if (out == RecoveryOutcome::InCriticalSection) {
         co_await finish_passage_from_cs(lock, p, cfg);
         if (cfg.records != nullptr) {

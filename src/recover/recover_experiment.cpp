@@ -4,6 +4,7 @@
 #include <chrono>
 
 #include "recover/driver.hpp"
+#include "recover/recoverable_jjj_mutex.hpp"
 #include "recover/recoverable_mutex.hpp"
 #include "recover/recoverable_rwlock.hpp"
 #include "recover/rme_checker.hpp"
@@ -13,7 +14,9 @@ namespace rwr::recover {
 std::string to_string(RecoverLockKind k) {
     switch (k) {
         case RecoverLockKind::Mutex: return "rmx";
+        case RecoverLockKind::JJJMutex: return "rjjj";
         case RecoverLockKind::RwLock: return "rrw";
+        case RecoverLockKind::RwLockJJJ: return "rrwj";
     }
     return "?";
 }
@@ -29,7 +32,12 @@ struct BuiltRecoverScenario {
     std::unique_ptr<RmeChecker> rme_checker;
     std::unique_ptr<sim::FaultInjector> injector;
     std::vector<std::vector<sim::PassageRecord>> records;
+    std::vector<std::vector<sim::PassageRecord>> recovery_records;
 };
+
+[[nodiscard]] bool is_mutex_kind(RecoverLockKind k) {
+    return k == RecoverLockKind::Mutex || k == RecoverLockKind::JJJMutex;
+}
 
 std::unique_ptr<BuiltRecoverScenario> build(const RecoverExperimentConfig& cfg,
                                             bool throw_on_violation) {
@@ -38,16 +46,30 @@ std::unique_ptr<BuiltRecoverScenario> build(const RecoverExperimentConfig& cfg,
     Memory& mem = b->sys->memory();
 
     std::uint32_t num_procs = 0;
-    if (cfg.lock == RecoverLockKind::Mutex) {
-        num_procs = cfg.m;
-        b->lock = std::make_unique<RecoverableTournamentMutex>(mem, "rmx",
-                                                               cfg.m);
-    } else {
-        num_procs = cfg.n + cfg.m;
-        b->lock = std::make_unique<RecoverableRWLock>(mem, "rrw", cfg.n,
-                                                      cfg.m, cfg.f);
+    switch (cfg.lock) {
+        case RecoverLockKind::Mutex:
+            num_procs = cfg.m;
+            b->lock = std::make_unique<RecoverableTournamentMutex>(mem, "rmx",
+                                                                   cfg.m);
+            break;
+        case RecoverLockKind::JJJMutex:
+            num_procs = cfg.m;
+            b->lock = std::make_unique<RecoverableJJJMutex>(mem, "rjjj",
+                                                            cfg.m, cfg.delta);
+            break;
+        case RecoverLockKind::RwLock:
+            num_procs = cfg.n + cfg.m;
+            b->lock = std::make_unique<RecoverableRWLock>(mem, "rrw", cfg.n,
+                                                          cfg.m, cfg.f);
+            break;
+        case RecoverLockKind::RwLockJJJ:
+            num_procs = cfg.n + cfg.m;
+            b->lock = std::make_unique<RecoverableRWLock>(
+                mem, "rrwj", cfg.n, cfg.m, cfg.f, WriterLockKind::JJJ);
+            break;
     }
     b->records.resize(num_procs);
+    b->recovery_records.resize(num_procs);
 
     const auto install = [&](sim::Role role) {
         sim::Process& p = b->sys->add_process(role);
@@ -55,9 +77,10 @@ std::unique_ptr<BuiltRecoverScenario> build(const RecoverExperimentConfig& cfg,
         dc.passages = cfg.passages;
         dc.cs_steps = cfg.cs_steps;
         dc.records = &b->records[p.id()];
+        dc.recovery_records = &b->recovery_records[p.id()];
         install_recoverable_driver(*b->lock, p, dc);
     };
-    if (cfg.lock == RecoverLockKind::Mutex) {
+    if (is_mutex_kind(cfg.lock)) {
         // A mutex has no reader/writer distinction; modelling every
         // participant as a writer makes the ME predicate "at most one in
         // the CS", which is exactly mutual exclusion.
@@ -89,6 +112,7 @@ std::unique_ptr<BuiltRecoverScenario> build(const RecoverExperimentConfig& cfg,
     RmeChecker::Options opts;
     opts.throw_on_violation = throw_on_violation;
     opts.recovery_step_bound = cfg.recovery_step_bound;
+    opts.chain_recovery_step_bound = cfg.chain_recovery_step_bound;
     b->rme_checker = std::make_unique<RmeChecker>(opts);
     b->sys->add_observer(b->rme_checker.get());
     return b;
@@ -124,6 +148,23 @@ void aggregate(const BuiltRecoverScenario& b, RecoverExperimentResult* res) {
         }
         rs->mean_passage_rmrs /= denom;
         res->total_passages += rs->num_passages;
+    }
+    // Recovery episode distribution: the Recover-section slice of each
+    // completed episode, pooled over all processes.
+    RecoverySummary& rec = res->recovery;
+    constexpr auto kRec = static_cast<std::size_t>(Section::Recover);
+    for (const auto& per_proc : b.recovery_records) {
+        for (const auto& ep : per_proc) {
+            ++rec.episodes;
+            rec.mean_rmrs += static_cast<double>(ep.delta.rmrs[kRec]);
+            rec.max_rmrs = std::max(rec.max_rmrs, ep.delta.rmrs[kRec]);
+            rec.mean_steps += static_cast<double>(ep.delta.steps[kRec]);
+            rec.max_steps = std::max(rec.max_steps, ep.delta.steps[kRec]);
+        }
+    }
+    if (rec.episodes > 0) {
+        rec.mean_rmrs /= static_cast<double>(rec.episodes);
+        rec.mean_steps /= static_cast<double>(rec.episodes);
     }
 }
 
@@ -166,6 +207,15 @@ RecoverExperimentResult run_recover_experiment(
                               : b->rme_checker->first_violation();
     res.restarts = b->rme_checker->total_restarts();
     res.max_recovery_steps = b->rme_checker->max_recovery_steps();
+    res.max_chain_recovery_steps = b->rme_checker->max_chain_recovery_steps();
+    res.stalled_at_exit = b->sys->num_stalled();
+    if (b->injector) {
+        res.faults_fired = b->injector->num_fired();
+        // Hard error (with per-fault diagnostics) when the plan demands
+        // every fault land and some never did -- the run just measured a
+        // healthier execution than the one configured.
+        b->injector->assert_all_fired();
+    }
     if (recorder) {
         res.schedule = recorder->choices();
     }

@@ -16,8 +16,10 @@
 namespace rwr::recover {
 
 enum class RecoverLockKind {
-    Mutex,   ///< RecoverableTournamentMutex over m processes (all writers).
-    RwLock,  ///< RecoverableRWLock over n readers + m writers.
+    Mutex,      ///< RecoverableTournamentMutex over m processes (all writers).
+    JJJMutex,   ///< RecoverableJJJMutex over m processes (all writers).
+    RwLock,     ///< RecoverableRWLock over n readers + m writers.
+    RwLockJJJ,  ///< RecoverableRWLock with the JJJ writer lock embedded.
 };
 
 [[nodiscard]] std::string to_string(RecoverLockKind k);
@@ -28,20 +30,37 @@ struct RecoverExperimentConfig {
     std::uint32_t n = 4;  ///< Readers (RwLock); ignored by Mutex.
     std::uint32_t m = 2;  ///< Writers (RwLock) / total processes (Mutex).
     std::uint32_t f = 1;  ///< RwLock group count.
+    /// JJJ node arity (JJJMutex / RwLockJJJ); 0 = auto (Theta(log m)).
+    std::uint32_t delta = 0;
     std::uint64_t passages = 4;
     std::uint64_t cs_steps = 1;
     harness::SchedKind sched = harness::SchedKind::Random;
     std::uint64_t seed = 1;
     std::uint64_t max_steps = 50'000'000;
 
-    /// Crash-restart (and other) faults applied during the run.
+    /// Crash-restart (and other) faults applied during the run. With
+    /// faults.require_all_fired() set, a fault that never fires makes
+    /// run_recover_experiment throw (per-fault diagnostics in the message).
     sim::FaultPlan faults;
     /// Forwarded to RmeChecker (0 = no bounded-recovery check).
     std::uint64_t recovery_step_bound = 0;
+    /// Forwarded to RmeChecker (0 = no chain bound): cumulative recovery
+    /// steps across nested crashed-in-Recover chains.
+    std::uint64_t chain_recovery_step_bound = 0;
     /// Record the schedule as ReplayScheduler choice indices.
     bool record_schedule = false;
     /// Non-empty: ignore sched/seed and replay this choice sequence.
     std::vector<std::size_t> replay;
+};
+
+/// Per-recovery-episode cost summary (Recover-section steps/RMRs of each
+/// completed episode, from RecoverDriveConfig::recovery_records).
+struct RecoverySummary {
+    std::uint64_t episodes = 0;
+    double mean_rmrs = 0;
+    std::uint64_t max_rmrs = 0;
+    double mean_steps = 0;
+    std::uint64_t max_steps = 0;
 };
 
 struct RecoverExperimentResult {
@@ -54,6 +73,11 @@ struct RecoverExperimentResult {
     std::uint64_t total_passages = 0;
     std::uint64_t restarts = 0;            ///< Crash-restarts survived.
     std::uint64_t max_recovery_steps = 0;  ///< Longest recovery episode.
+    /// Longest nested-crash chain (cumulative Recover steps).
+    std::uint64_t max_chain_recovery_steps = 0;
+    RecoverySummary recovery;  ///< Episode cost distribution.
+    std::size_t faults_fired = 0;
+    std::uint32_t stalled_at_exit = 0;  ///< Never-resumed Stall victims.
     std::uint64_t me_violations = 0;
     std::uint64_t rme_violations = 0;  ///< CSR / bounded-recovery / ME.
     std::string first_violation;

@@ -27,8 +27,10 @@
 //                          completed the release). The passage counts.
 #pragma once
 
+#include <cstdint>
 #include <string>
 
+#include "rmr/memory.hpp"
 #include "sim/process.hpp"
 #include "sim/task.hpp"
 
@@ -63,6 +65,45 @@ class RecoverableLock {
                                        RecoveryOutcome& out) = 0;
 
     [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// A recoverable m-process mutex addressed by *slot* in [0, m) rather than
+/// by pid, so it can be embedded inside a larger lock (RecoverableRWLock
+/// runs one over its m writers, keyed by writer role_index) as well as
+/// stand alone. The RecoverableLock entry points default slot = pid, which
+/// is the standalone configuration (a system of exactly the lock's m
+/// processes). Every implementation keeps a per-slot persistent *stage*
+/// word with the shared encoding below, written at section boundaries;
+/// stage_of() peeks it without a simulated step, which is what the unit
+/// tests and the crash adversary use to label where a crash landed.
+class RecoverableSlotMutex : public RecoverableLock {
+   public:
+    static constexpr Word kIdle = 0;
+    static constexpr Word kTrying = 1;
+    static constexpr Word kInCS = 2;
+    static constexpr Word kExiting = 3;
+
+    virtual sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot) = 0;
+    virtual sim::SimTask<void> exit_slot(sim::Process& p,
+                                         std::uint32_t slot) = 0;
+    virtual sim::SimTask<void> recover_slot(sim::Process& p,
+                                            std::uint32_t slot,
+                                            RecoveryOutcome& out) = 0;
+
+    /// Persistent passage stage of `slot` (peeks, no simulated step).
+    [[nodiscard]] virtual Word stage_of(const Memory& mem,
+                                        std::uint32_t slot) const = 0;
+
+    sim::SimTask<void> entry(sim::Process& p) override {
+        return enter(p, p.id());
+    }
+    sim::SimTask<void> exit(sim::Process& p) override {
+        return exit_slot(p, p.id());
+    }
+    sim::SimTask<void> recover(sim::Process& p,
+                               RecoveryOutcome& out) override {
+        return recover_slot(p, p.id(), out);
+    }
 };
 
 }  // namespace rwr::recover

@@ -51,42 +51,26 @@
 
 namespace rwr::recover {
 
-class RecoverableTournamentMutex final : public RecoverableLock {
+class RecoverableTournamentMutex final : public RecoverableSlotMutex {
    public:
     RecoverableTournamentMutex(Memory& mem, const std::string& name,
                                std::uint32_t m);
 
-    // Slot-explicit API (unit tests; slot in [0, m)).
-    sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot);
-    sim::SimTask<void> exit_slot(sim::Process& p, std::uint32_t slot);
+    // Slot-explicit API (unit tests, embedding; slot in [0, m)). The
+    // RecoverableLock entry points (slot = pid) come from the base.
+    sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot) override;
+    sim::SimTask<void> exit_slot(sim::Process& p, std::uint32_t slot) override;
     sim::SimTask<void> recover_slot(sim::Process& p, std::uint32_t slot,
-                                    RecoveryOutcome& out);
+                                    RecoveryOutcome& out) override;
 
-    // RecoverableLock: slot = p.id(); requires the system to have exactly
-    // the lock's m processes.
-    sim::SimTask<void> entry(sim::Process& p) override {
-        return enter(p, p.id());
-    }
-    sim::SimTask<void> exit(sim::Process& p) override {
-        return exit_slot(p, p.id());
-    }
-    sim::SimTask<void> recover(sim::Process& p, RecoveryOutcome& out) override {
-        return recover_slot(p, p.id(), out);
-    }
     [[nodiscard]] std::string name() const override {
         return "recoverable-tournament";
     }
 
-    /// Persistent passage stage of `slot`, for tests/checkers (peeks, no
-    /// simulated step).
-    [[nodiscard]] Word stage_of(const Memory& mem, std::uint32_t slot) const {
+    [[nodiscard]] Word stage_of(const Memory& mem,
+                                std::uint32_t slot) const override {
         return mem.peek(stage_.at(slot));
     }
-
-    static constexpr Word kIdle = 0;
-    static constexpr Word kTrying = 1;
-    static constexpr Word kInCS = 2;
-    static constexpr Word kExiting = 3;
 
    private:
     struct Node {

@@ -6,13 +6,19 @@ namespace rwr::recover {
 
 RecoverableRWLock::RecoverableRWLock(Memory& mem, const std::string& name,
                                      std::uint32_t n, std::uint32_t m,
-                                     std::uint32_t f)
+                                     std::uint32_t f, WriterLockKind wl_kind)
     : n_(n),
       m_(m),
       group_size_(f == 0 ? 0 : (n + f - 1) / f),
-      wl_(mem, name + ".wl", m) {
+      wl_kind_(wl_kind) {
     if (n == 0 || m == 0) {
         throw std::invalid_argument("RecoverableRWLock: need n, m >= 1");
+    }
+    if (wl_kind == WriterLockKind::JJJ) {
+        wl_ = std::make_unique<RecoverableJJJMutex>(mem, name + ".wl", m);
+    } else {
+        wl_ = std::make_unique<RecoverableTournamentMutex>(mem, name + ".wl",
+                                                           m);
     }
     if (f == 0 || f > n) {
         throw std::invalid_argument("RecoverableRWLock: need 1 <= f <= n");
@@ -155,7 +161,7 @@ sim::SimTask<void> RecoverableRWLock::scan_groups(sim::Process& p) {
 
 sim::SimTask<void> RecoverableRWLock::writer_entry(sim::Process& p,
                                                    std::uint32_t w) {
-    co_await wl_.enter(p, w);
+    co_await wl_->enter(p, w);
     co_await p.write(wflag_, w + 1);
     co_await scan_groups(p);
 }
@@ -167,7 +173,7 @@ sim::SimTask<void> RecoverableRWLock::writer_exit(sim::Process& p,
     // unambiguously means "my CS is over, finish the release for me".
     co_await p.write(wdone_[w], 1);
     co_await p.write(wflag_, 0);
-    co_await wl_.exit_slot(p, w);
+    co_await wl_->exit_slot(p, w);
     co_await p.write(wdone_[w], 0);
 }
 
@@ -175,7 +181,7 @@ sim::SimTask<void> RecoverableRWLock::writer_recover(sim::Process& p,
                                                      std::uint32_t w,
                                                      RecoveryOutcome& out) {
     RecoveryOutcome wl_out = RecoveryOutcome::None;
-    co_await wl_.recover_slot(p, w, wl_out);
+    co_await wl_->recover_slot(p, w, wl_out);
     if (wl_out == RecoveryOutcome::InCriticalSection) {
         const Word d = co_await p.read(wdone_[w]);
         if (d == 1) {
@@ -187,7 +193,7 @@ sim::SimTask<void> RecoverableRWLock::writer_recover(sim::Process& p,
             if (cur == w + 1) {
                 co_await p.write(wflag_, 0);
             }
-            co_await wl_.exit_slot(p, w);
+            co_await wl_->exit_slot(p, w);
             co_await p.write(wdone_[w], 0);
             out = RecoveryOutcome::LockReleased;
             co_return;

@@ -7,7 +7,10 @@
 //   rbits[g]    per group: one presence bit per group member (needs K <= 64)
 //   wflag       0 = no writer; w + 1 = writer slot w owns the write phase
 //   wdone[w]    per writer: "my CS is over, I am releasing" marker
-//   wl          an embedded RecoverableTournamentMutex over the m writers
+//   wl          an embedded RecoverableSlotMutex over the m writers
+//               (tournament by default; WriterLockKind::JJJ swaps in the
+//               sub-logarithmic ticket tree, changing only the writer's
+//               wl cost term)
 //
 // Reader entry (O(1) shared variables, like A_f's reader side): set your
 // presence bit in rbits[group] *then* check wflag; if a writer owns the
@@ -37,9 +40,11 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "recover/recoverable_jjj_mutex.hpp"
 #include "recover/recoverable_lock.hpp"
 #include "recover/recoverable_mutex.hpp"
 #include "rmr/memory.hpp"
@@ -48,18 +53,36 @@
 
 namespace rwr::recover {
 
+/// Which RecoverableSlotMutex arbitrates the writers inside
+/// RecoverableRWLock: the Theta(log m) tournament or the sub-logarithmic
+/// JJJ ticket tree. The reader side is identical either way; the choice
+/// only moves the writer entry/exit cost term.
+enum class WriterLockKind : std::uint8_t { Tournament, JJJ };
+
+[[nodiscard]] inline const char* to_string(WriterLockKind k) {
+    switch (k) {
+        case WriterLockKind::Tournament: return "tournament";
+        case WriterLockKind::JJJ: return "jjj";
+    }
+    return "?";
+}
+
 class RecoverableRWLock final : public RecoverableLock {
    public:
     /// n readers in f groups of K = ceil(n/f) (K <= 64 required: one
     /// presence bit per group member), m writers. Readers are identified by
     /// role_index in [0, n), writers by role_index in [0, m).
     RecoverableRWLock(Memory& mem, const std::string& name, std::uint32_t n,
-                      std::uint32_t m, std::uint32_t f);
+                      std::uint32_t m, std::uint32_t f,
+                      WriterLockKind wl_kind = WriterLockKind::Tournament);
 
     sim::SimTask<void> entry(sim::Process& p) override;
     sim::SimTask<void> exit(sim::Process& p) override;
     sim::SimTask<void> recover(sim::Process& p, RecoveryOutcome& out) override;
-    [[nodiscard]] std::string name() const override { return "recoverable-rw"; }
+    [[nodiscard]] std::string name() const override {
+        return wl_kind_ == WriterLockKind::JJJ ? "recoverable-rw-jjj"
+                                               : "recoverable-rw";
+    }
 
     [[nodiscard]] std::uint32_t num_groups() const {
         return static_cast<std::uint32_t>(rbits_.size());
@@ -67,11 +90,11 @@ class RecoverableRWLock final : public RecoverableLock {
     [[nodiscard]] std::uint32_t group_size() const { return group_size_; }
 
    private:
-    // Reader stage values (same encoding as the mutex's stage word).
-    static constexpr Word kIdle = RecoverableTournamentMutex::kIdle;
-    static constexpr Word kTrying = RecoverableTournamentMutex::kTrying;
-    static constexpr Word kInCS = RecoverableTournamentMutex::kInCS;
-    static constexpr Word kExiting = RecoverableTournamentMutex::kExiting;
+    // Reader stage values (same encoding as the slot mutexes' stage word).
+    static constexpr Word kIdle = RecoverableSlotMutex::kIdle;
+    static constexpr Word kTrying = RecoverableSlotMutex::kTrying;
+    static constexpr Word kInCS = RecoverableSlotMutex::kInCS;
+    static constexpr Word kExiting = RecoverableSlotMutex::kExiting;
 
     [[nodiscard]] std::uint32_t group_of(std::uint32_t r) const {
         return r / group_size_;
@@ -102,11 +125,12 @@ class RecoverableRWLock final : public RecoverableLock {
     std::uint32_t n_;
     std::uint32_t m_;
     std::uint32_t group_size_;
+    WriterLockKind wl_kind_;
     std::vector<VarId> rstage_;  ///< Per reader.
     std::vector<VarId> rbits_;   ///< Per group.
     VarId wflag_;
     std::vector<VarId> wdone_;  ///< Per writer.
-    RecoverableTournamentMutex wl_;
+    std::unique_ptr<RecoverableSlotMutex> wl_;  ///< Over the m writers.
 };
 
 }  // namespace rwr::recover

@@ -47,6 +47,16 @@ class RmeChecker final : public sim::StepObserver {
         /// 0 = no bound; otherwise max steps in Section::Recover per
         /// restart episode before a violation is flagged.
         std::uint64_t recovery_step_bound = 0;
+        /// 0 = no bound; otherwise max *cumulative* steps in
+        /// Section::Recover across a crash CHAIN -- consecutive restarts
+        /// whose crashed_in() == Recover, i.e. crashes that keep landing
+        /// inside the recovery they spawned. The chain counter resets only
+        /// when the process leaves Recover on its own (the recovery
+        /// completed) or a restart arrives from outside Recover (a new
+        /// chain). Catches recovery that makes no net progress under
+        /// nested crashes even when each episode respects the per-episode
+        /// bound.
+        std::uint64_t chain_recovery_step_bound = 0;
     };
 
     RmeChecker() : opts_(Options{}) {}
@@ -62,6 +72,7 @@ class RmeChecker final : public sim::StepObserver {
             pending_reentry_.resize(np, 0);
             prev_in_cs_.resize(np, 0);
             recover_steps_.resize(np, 0);
+            chain_recover_steps_.resize(np, 0);
         }
         // (1) Latch restarts that happened since the last observed step.
         for (ProcId id = 0; id < np; ++id) {
@@ -73,6 +84,11 @@ class RmeChecker final : public sim::StepObserver {
                 if (q.crashed_in() == Section::Critical) {
                     pending_reentry_[id] = 1;
                 }
+                if (q.crashed_in() != Section::Recover) {
+                    // A fresh chain; a crash *inside* Recover keeps the
+                    // chain accumulator running across the restart.
+                    chain_recover_steps_[id] = 0;
+                }
             }
         }
         // (2) Bounded recovery: attribute this step if taken in Recover.
@@ -80,6 +96,10 @@ class RmeChecker final : public sim::StepObserver {
             ++recover_steps_[p.id()];
             if (recover_steps_[p.id()] > max_recovery_steps_) {
                 max_recovery_steps_ = recover_steps_[p.id()];
+            }
+            ++chain_recover_steps_[p.id()];
+            if (chain_recover_steps_[p.id()] > max_chain_recovery_steps_) {
+                max_chain_recovery_steps_ = chain_recover_steps_[p.id()];
             }
             if (opts_.recovery_step_bound != 0 &&
                 recover_steps_[p.id()] > opts_.recovery_step_bound) {
@@ -90,6 +110,20 @@ class RmeChecker final : public sim::StepObserver {
                    << opts_.recovery_step_bound << ")";
                 flag(os.str());
             }
+            if (opts_.chain_recovery_step_bound != 0 &&
+                chain_recover_steps_[p.id()] >
+                    opts_.chain_recovery_step_bound) {
+                std::ostringstream os;
+                os << "bounded chain recovery violated: p" << p.id()
+                   << " executed " << chain_recover_steps_[p.id()]
+                   << " cumulative recovery steps across a crash chain "
+                      "(bound "
+                   << opts_.chain_recovery_step_bound << ")";
+                flag(os.str());
+            }
+        } else if (chain_recover_steps_[p.id()] != 0) {
+            // The recovery completed on its own: the chain is over.
+            chain_recover_steps_[p.id()] = 0;
         }
         // (3) Mutual exclusion across crashes + CS-entry transitions.
         std::uint32_t readers_in_cs = 0;
@@ -134,6 +168,11 @@ class RmeChecker final : public sim::StepObserver {
     [[nodiscard]] std::uint64_t max_recovery_steps() const {
         return max_recovery_steps_;
     }
+    /// Longest crash chain observed (cumulative Recover steps across
+    /// consecutive crashed-in-Recover restarts).
+    [[nodiscard]] std::uint64_t max_chain_recovery_steps() const {
+        return max_chain_recovery_steps_;
+    }
 
    private:
     void check_reentry(const sim::System& sys, const sim::Process& entering) {
@@ -170,8 +209,10 @@ class RmeChecker final : public sim::StepObserver {
     std::vector<std::uint8_t> pending_reentry_;
     std::vector<std::uint8_t> prev_in_cs_;
     std::vector<std::uint64_t> recover_steps_;
+    std::vector<std::uint64_t> chain_recover_steps_;
     std::uint64_t total_restarts_ = 0;
     std::uint64_t max_recovery_steps_ = 0;
+    std::uint64_t max_chain_recovery_steps_ = 0;
     std::uint64_t violations_ = 0;
     std::string first_violation_;
 };

@@ -52,6 +52,7 @@ class System final : private ProcessStateListener {
             role == Role::Reader ? num_readers_++ : num_writers_++;
         processes_.push_back(std::make_unique<Process>(id, role, role_index));
         in_runnable_.push_back(0);
+        counted_stalled_.push_back(0);
         counted_finished_.push_back(0);
         counted_crashed_.push_back(0);
         counted_done_.push_back(0);
@@ -123,6 +124,14 @@ class System final : private ProcessStateListener {
 
     [[nodiscard]] std::uint32_t num_crashed() const { return crashed_count_; }
 
+    /// Processes currently stalled by fault injection. A run can terminate
+    /// with this nonzero: a Stall whose resume window never elapsed (the
+    /// rest of the system quiesced first) leaves a stuck *survivor* --
+    /// unfinished, yet not counted by num_crashed(). Checked at run end
+    /// this distinguishes that degenerate case from a clean finish; see
+    /// FaultInjection.UnresumedStallDegeneratesToACrash.
+    [[nodiscard]] std::uint32_t num_stalled() const { return stalled_count_; }
+
     /// Throws if any process's coroutine escaped with an exception.
     void check_failures() const {
         for (const auto& p : processes_) {
@@ -151,6 +160,11 @@ class System final : private ProcessStateListener {
                 runnable_.erase(it);
             }
         }
+        const bool is_stalled = p.stalled();
+        if (is_stalled != static_cast<bool>(counted_stalled_[id])) {
+            counted_stalled_[id] = is_stalled ? 1 : 0;
+            stalled_count_ += is_stalled ? 1 : -1;
+        }
         if (p.finished() && !counted_finished_[id]) {
             counted_finished_[id] = 1;
             ++finished_count_;
@@ -175,10 +189,12 @@ class System final : private ProcessStateListener {
     // ---- Maintained indexes (see class comment) -------------------------
     std::vector<ProcId> runnable_;           ///< Sorted by pid.
     std::vector<std::uint8_t> in_runnable_;  ///< Membership mirror.
+    std::vector<std::uint8_t> counted_stalled_;  ///< Stall mirror (toggles).
     std::vector<std::uint8_t> counted_finished_;
     std::vector<std::uint8_t> counted_crashed_;
     std::vector<std::uint8_t> counted_done_;  ///< Finished or crashed.
     std::size_t finished_count_ = 0;
+    std::uint32_t stalled_count_ = 0;
     std::uint32_t crashed_count_ = 0;
     std::size_t done_count_ = 0;
 };

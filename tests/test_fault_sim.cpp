@@ -153,6 +153,95 @@ TEST(FaultInjection, UnresumedStallDegeneratesToACrash) {
     EXPECT_EQ(s.sys.num_crashed(), 2u);  // The stalled survivor is not dead.
 }
 
+TEST(FaultInjection, OutOfRangeVictimIsRejectedAtInstallTime) {
+    // A typo'd victim pid used to be a silently-unfired fault; now the
+    // injector refuses to install it (the plan names a process that cannot
+    // exist, so the experiment it describes is vacuous).
+    AfScenario s(/*n=*/2, /*m=*/1, /*f=*/1, /*passages=*/1);  // pids 0..2.
+    try {
+        FaultInjector injector(
+            s.sys, FaultPlan{}.crash(/*victim=*/3, Section::Entry, 1));
+        FAIL() << "out-of-range victim accepted";
+    } catch (const std::invalid_argument& e) {
+        // Diagnostics name the bad pid and the valid range.
+        EXPECT_NE(std::string(e.what()).find("victim p3"), std::string::npos)
+            << e.what();
+        EXPECT_NE(std::string(e.what()).find("3 process"), std::string::npos)
+            << e.what();
+    }
+}
+
+TEST(FaultInjection, RequireAllFiredTurnsAnUnfiredFaultIntoAHardError) {
+    // Without the flag, a placement past a section's end is data (the
+    // explore tests probe for exactly that). With it, an unfired fault is
+    // a configuration bug and must fail loudly, naming the stragglers.
+    AfScenario s(/*n=*/2, /*m=*/1, /*f=*/1, /*passages=*/1);
+    FaultInjector injector(s.sys,
+                           FaultPlan{}
+                               .crash(/*victim=*/0, Section::Entry, 1)
+                               .crash(/*victim=*/1, Section::Entry, 9999)
+                               .require_all_fired());
+    s.sys.add_observer(&injector);
+    sim::RoundRobinScheduler sched;
+    sim::run(s.sys, sched, /*max_steps=*/30000);
+    s.sys.check_failures();
+
+    EXPECT_EQ(injector.num_fired(), 1u);
+    EXPECT_EQ(injector.num_unfired(), 1u);
+    try {
+        injector.assert_all_fired();
+        FAIL() << "assert_all_fired did not throw";
+    } catch (const std::runtime_error& e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("crash v1"), std::string::npos) << what;
+        EXPECT_NE(what.find("step 9999"), std::string::npos) << what;
+    }
+}
+
+TEST(FaultInjection, AssertAllFiredIsANoOpWithoutTheFlagOrWhenAllFired) {
+    AfScenario s(/*n=*/2, /*m=*/1, /*f=*/1, /*passages=*/1);
+    FaultInjector injector(s.sys,
+                           FaultPlan{}
+                               .crash(/*victim=*/0, Section::Entry, 9999)
+                               .require_all_fired(false));
+    s.sys.add_observer(&injector);
+    sim::RoundRobinScheduler sched;
+    sim::run(s.sys, sched, /*max_steps=*/30000);
+    s.sys.check_failures();
+    EXPECT_EQ(injector.num_unfired(), 1u);
+    EXPECT_NO_THROW(injector.assert_all_fired());  // Flag off: data, not bug.
+}
+
+TEST(FaultInjection, NumStalledCountsOnlyNeverResumedStalls) {
+    // Expired stalls leave no trace; only a stall that outlives the run
+    // shows up, distinguishing "paused forever" from "finished late".
+    AfScenario resumed(/*n=*/2, /*m=*/1, /*f=*/1, /*passages=*/2);
+    FaultInjector inj1(resumed.sys,
+                       FaultPlan{}.stall(/*victim=*/0, Section::Entry,
+                                         /*step_in_section=*/2, /*steps=*/300));
+    resumed.sys.add_observer(&inj1);
+    sim::RoundRobinScheduler sched1;
+    sim::run(resumed.sys, sched1, /*max_steps=*/100000);
+    resumed.sys.check_failures();
+    EXPECT_EQ(resumed.sys.num_stalled(), 0u);
+
+    // The UnresumedStallDegeneratesToACrash scenario again, through the
+    // counter: the rest of the system dies before the window elapses.
+    AfScenario stuck(/*n=*/2, /*m=*/1, /*f=*/1, /*passages=*/1);
+    FaultInjector inj2(stuck.sys,
+                       FaultPlan{}
+                           .stall(/*victim=*/0, Section::Entry, 2,
+                                  /*steps=*/100000)
+                           .crash(/*victim=*/1, Section::Entry, 1)
+                           .crash(/*victim=*/2, Section::Entry, 1));
+    stuck.sys.add_observer(&inj2);
+    sim::RoundRobinScheduler sched2;
+    sim::run(stuck.sys, sched2, /*max_steps=*/50000);
+    stuck.sys.check_failures();
+    EXPECT_EQ(stuck.sys.num_stalled(), 1u);
+    EXPECT_TRUE(stuck.sys.process(0).stalled());
+}
+
 TEST(FaultInjection, CrashedWriterPastLine18StarvesReaders) {
     // A writer that dies inside the CS holds WL and leaves RSIG = WAIT:
     // readers park on line 36 forever. The watchdog must call it out.

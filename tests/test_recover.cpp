@@ -7,6 +7,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <stdexcept>
 #include <vector>
 
 #include "harness/parallel.hpp"
@@ -315,12 +316,106 @@ TEST(RmeCheckerTeeth, FlagsRecoveryExceedingTheConfiguredBound) {
     EXPECT_GT(checker.max_recovery_steps(), 3u);
 }
 
+TEST(RmeCheckerTeeth, FlagsCumulativeChainRecoveryAcrossNestedCrashes) {
+    // Two chained recoveries of 2 and 5 steps: each episode individually
+    // respects a per-episode bound of 5, but the crash CHAIN accumulates
+    // 7 Recover steps -- only the chain bound can see it. This is the
+    // Chan-Woelfel-style adversary the plain bound is blind to.
+    System sys(Protocol::WriteBack);
+    Process& p0 = sys.add_process(Role::Writer);
+    p0.set_task(fake_cs_passage(p0, 1, 2));
+    p0.set_restart_factory(
+        [](Process& q) { return recover_then_remainder(q, 5); });
+    FaultInjector injector(
+        sys, FaultPlan{}
+                 .crash_restart(/*victim=*/0, Section::Critical, 1)
+                 .crash_restart(/*victim=*/0, Section::Recover, 2,
+                                /*min_restarts=*/1));
+    sys.add_observer(&injector);
+    RmeChecker::Options opts;
+    opts.throw_on_violation = false;
+    opts.recovery_step_bound = 5;        // Each episode fits...
+    opts.chain_recovery_step_bound = 6;  // ...the chain does not.
+    RmeChecker checker(opts);
+    sys.add_observer(&checker);
+
+    sim::RoundRobinScheduler sched;
+    sim::run(sys, sched, /*max_steps=*/200);
+    sys.check_failures();
+
+    EXPECT_EQ(injector.num_fired(), 2u);
+    EXPECT_EQ(checker.total_restarts(), 2u);
+    EXPECT_LE(checker.max_recovery_steps(), 5u);
+    EXPECT_EQ(checker.max_chain_recovery_steps(), 7u);
+    EXPECT_GT(checker.violations(), 0u);
+    EXPECT_NE(checker.first_violation().find("bounded chain recovery"),
+              std::string::npos)
+        << checker.first_violation();
+}
+
+sim::SimTask<void> recover_then_passage(Process& p, std::uint64_t rec_steps,
+                                        std::uint64_t cs_steps) {
+    for (std::uint64_t i = 0; i < rec_steps; ++i) {
+        co_await p.local_step();  // Still in Section::Recover.
+    }
+    // An inline passage, so a later-generation fault keyed to Critical can
+    // fire after this recovery completed.
+    p.set_section(Section::Entry);
+    co_await p.local_step();
+    p.set_section(Section::Critical);
+    for (std::uint64_t i = 0; i < cs_steps; ++i) {
+        co_await p.local_step();
+    }
+    p.set_section(Section::Exit);
+    co_await p.local_step();
+    p.set_section(Section::Remainder);
+    p.note_passage_complete();
+}
+
+TEST(RmeCheckerTeeth, ChainCounterResetsOnANormalCrash) {
+    // Same two-crash shape, but the second crash lands in the CRITICAL
+    // section of the recovered passage, not inside Recover: the chain
+    // latch resets, the two 5-step recoveries never sum, and the chain
+    // bound of 6 holds. Distinguishes "many crashes" (fine) from "crashes
+    // during recovery" (the chain).
+    System sys(Protocol::WriteBack);
+    Process& p0 = sys.add_process(Role::Writer);
+    p0.set_task(fake_cs_passage(p0, 1, 4));
+    p0.set_restart_factory([](Process& q) {
+        return recover_then_passage(q, /*rec_steps=*/5, /*cs_steps=*/3);
+    });
+    FaultInjector injector(
+        sys, FaultPlan{}
+                 .crash_restart(/*victim=*/0, Section::Critical, 1)
+                 .crash_restart(/*victim=*/0, Section::Critical, 2,
+                                /*min_restarts=*/1)
+                 .require_all_fired());
+    sys.add_observer(&injector);
+    RmeChecker::Options opts;
+    opts.throw_on_violation = false;
+    opts.chain_recovery_step_bound = 6;
+    RmeChecker checker(opts);
+    sys.add_observer(&checker);
+
+    sim::RoundRobinScheduler sched;
+    sim::run(sys, sched, /*max_steps=*/300);
+    sys.check_failures();
+    injector.assert_all_fired();  // Both generations really fired.
+
+    EXPECT_EQ(checker.total_restarts(), 2u);
+    EXPECT_EQ(checker.max_chain_recovery_steps(), 5u);
+    EXPECT_EQ(checker.violations(), 0u) << checker.first_violation();
+}
+
 // ---- Experiment-level behaviour --------------------------------------------
 
 RecoverExperimentConfig base_cfg(RecoverLockKind kind) {
     RecoverExperimentConfig cfg;
     cfg.lock = kind;
-    cfg.n = kind == RecoverLockKind::Mutex ? 0 : 2;
+    cfg.n = (kind == RecoverLockKind::Mutex ||
+             kind == RecoverLockKind::JJJMutex)
+                ? 0
+                : 2;
     cfg.m = 2;
     cfg.f = 1;
     cfg.passages = 2;
@@ -389,11 +484,69 @@ TEST(RecoverExperiment, SurvivesACrashStormUnderRandomScheduling) {
     }
 }
 
+TEST(RecoverExperiment, NestedCrashIsAddressableViaMinRestarts) {
+    // {Recover, 1, min_restarts 1} names "one step into the recovery of
+    // the first crash" exactly; the run must survive the chain with the
+    // chain accumulator visible in the result.
+    for (const auto kind :
+         {RecoverLockKind::Mutex, RecoverLockKind::JJJMutex,
+          RecoverLockKind::RwLock}) {
+        auto cfg = base_cfg(kind);
+        cfg.faults.crash_restart(/*victim=*/0, Section::Critical, 1);
+        cfg.faults.crash_restart(/*victim=*/0, Section::Recover, 1,
+                                 /*min_restarts=*/1);
+        cfg.faults.require_all_fired();
+        const auto res = recover::run_recover_experiment(cfg);
+        EXPECT_TRUE(res.finished) << to_string(kind);
+        EXPECT_EQ(res.restarts, 2u) << to_string(kind);
+        EXPECT_EQ(res.faults_fired, 2u) << to_string(kind);
+        EXPECT_EQ(res.me_violations + res.rme_violations, 0u)
+            << to_string(kind) << ": " << res.first_violation;
+        EXPECT_GE(res.max_chain_recovery_steps, res.max_recovery_steps)
+            << to_string(kind);
+        EXPECT_GT(res.max_chain_recovery_steps, 0u) << to_string(kind);
+    }
+}
+
+TEST(RecoverExperiment, RecoverySummaryCountsEveryEpisode) {
+    auto cfg = base_cfg(RecoverLockKind::Mutex);
+    cfg.faults.crash_restart(/*victim=*/0, Section::Entry, 1);
+    cfg.faults.crash_restart(/*victim=*/1, Section::Critical, 1);
+    cfg.faults.require_all_fired();
+    const auto res = recover::run_recover_experiment(cfg);
+    ASSERT_TRUE(res.finished);
+    EXPECT_EQ(res.recovery.episodes, 2u);
+    EXPECT_GT(res.recovery.max_steps, 0u);
+    EXPECT_GE(static_cast<double>(res.recovery.max_rmrs),
+              res.recovery.mean_rmrs);
+    EXPECT_GE(static_cast<double>(res.recovery.max_steps),
+              res.recovery.mean_steps);
+    EXPECT_EQ(res.stalled_at_exit, 0u);
+}
+
+TEST(RecoverExperiment, RequireAllFiredPropagatesToTheRunner) {
+    auto cfg = base_cfg(RecoverLockKind::Mutex);
+    cfg.faults.crash_restart(/*victim=*/0, Section::Entry, 9999);
+    cfg.faults.require_all_fired();
+    EXPECT_THROW(recover::run_recover_experiment(cfg), std::runtime_error);
+    // The same unfired placement without the flag is ordinary data.
+    cfg.faults.require_all_fired(false);
+    const auto res = recover::run_recover_experiment(cfg);
+    EXPECT_TRUE(res.finished);
+    EXPECT_EQ(res.faults_fired, 0u);
+}
+
 bool same_deterministic_fields(const RecoverExperimentResult& a,
                                const RecoverExperimentResult& b) {
     return a.finished == b.finished && a.steps == b.steps &&
            a.total_passages == b.total_passages && a.restarts == b.restarts &&
            a.max_recovery_steps == b.max_recovery_steps &&
+           a.max_chain_recovery_steps == b.max_chain_recovery_steps &&
+           a.recovery.episodes == b.recovery.episodes &&
+           a.recovery.mean_rmrs == b.recovery.mean_rmrs &&
+           a.recovery.max_rmrs == b.recovery.max_rmrs &&
+           a.faults_fired == b.faults_fired &&
+           a.stalled_at_exit == b.stalled_at_exit &&
            a.me_violations == b.me_violations &&
            a.rme_violations == b.rme_violations && a.schedule == b.schedule &&
            a.readers.num_passages == b.readers.num_passages &&
@@ -405,9 +558,12 @@ bool same_deterministic_fields(const RecoverExperimentResult& a,
 TEST(RecoverExperiment, SweepCellsAreBitIdenticalAcrossJobCounts) {
     // The bench_recoverable acceptance: which worker runs a cell cannot
     // influence the cell (everything except wall_ms is a pure function of
-    // the config). Mixed grid, schedules recorded to sharpen the check.
+    // the config). Mixed grid over all four lock kinds, schedules recorded
+    // to sharpen the check.
     std::vector<RecoverExperimentConfig> cfgs;
-    for (const auto kind : {RecoverLockKind::Mutex, RecoverLockKind::RwLock}) {
+    for (const auto kind :
+         {RecoverLockKind::Mutex, RecoverLockKind::JJJMutex,
+          RecoverLockKind::RwLock, RecoverLockKind::RwLockJJJ}) {
         for (const std::uint64_t seed : {1, 2, 3}) {
             auto cfg = base_cfg(kind);
             cfg.sched = harness::SchedKind::Random;

@@ -3,13 +3,18 @@
 // victim, every section, every step index at which the fault can fire --
 // enumerate all schedule prefixes and prove mutual exclusion and
 // Critical-Section Reentry hold, with zero incomplete runs (nobody gets
-// stuck, i.e. recovery always converges).
+// stuck, i.e. recovery always converges). The nested variant then crashes
+// the victim a SECOND time at every step inside the recovery spawned by
+// the first crash (min_restarts gating, sim/fault.hpp), exhausting the
+// double-crash placements whose second crash lands in Section::Recover.
 //
 // Placement coverage is proved by construction: for each (victim, section)
 // the step index increases until a probe run reports zero restarts -- the
 // fault no longer fires because the victim executes fewer steps in that
 // section -- so every index at which the fault CAN fire has been explored,
 // and the first one-past-the-end index is pinned as the stopping witness.
+// The double-crash walk applies the same witness to the inner (Recover
+// step) index, probing for restarts < 2.
 //
 // Crash-bearing schedules must also replay bit-identically from a recorded
 // choice trace (the debugging workflow for any future violation).
@@ -29,10 +34,15 @@ namespace {
 using recover::RecoverExperimentConfig;
 using recover::RecoverLockKind;
 
+bool is_mutex_kind(RecoverLockKind kind) {
+    return kind == RecoverLockKind::Mutex ||
+           kind == RecoverLockKind::JJJMutex;
+}
+
 RecoverExperimentConfig tiny_cfg(RecoverLockKind kind) {
     RecoverExperimentConfig cfg;
     cfg.lock = kind;
-    if (kind == RecoverLockKind::Mutex) {
+    if (is_mutex_kind(kind)) {
         cfg.n = 0;
         cfg.m = 2;
     } else {
@@ -55,7 +65,7 @@ void explore_all_single_crash_placements(RecoverLockKind kind,
                                          int branch_depth) {
     const RecoverExperimentConfig base = tiny_cfg(kind);
     const std::uint32_t procs =
-        kind == RecoverLockKind::Mutex ? base.m : base.n + base.m;
+        is_mutex_kind(kind) ? base.m : base.n + base.m;
     std::uint64_t placements_explored = 0;
     for (ProcId victim = 0; victim < procs; ++victim) {
         for (const Section section :
@@ -105,15 +115,107 @@ TEST(RecoverExplore, MutexEveryCrashPlacementKeepsMEAndCSR) {
                                         /*branch_depth=*/6);
 }
 
+TEST(RecoverExplore, JJJEveryCrashPlacementKeepsMEAndCSR) {
+    explore_all_single_crash_placements(RecoverLockKind::JJJMutex,
+                                        /*branch_depth=*/6);
+}
+
 TEST(RecoverExplore, RWLockEveryCrashPlacementKeepsMEAndCSR) {
     explore_all_single_crash_placements(RecoverLockKind::RwLock,
                                         /*branch_depth=*/5);
 }
 
+/// Exhaustive nested double crashes: first crash at every step of every
+/// passage section, second crash at every step of the recovery the first
+/// one spawned ({Recover, j, min_restarts 1}). Inner coverage witness:
+/// j advances until the probe run restarts only once -- the second fault
+/// fell past the recovery's end -- so every index at which the nested
+/// crash CAN fire has been explored.
+void explore_all_double_crash_placements(RecoverLockKind kind,
+                                         int branch_depth) {
+    const RecoverExperimentConfig base = tiny_cfg(kind);
+    const std::uint32_t procs =
+        is_mutex_kind(kind) ? base.m : base.n + base.m;
+    std::uint64_t placements_explored = 0;
+    for (ProcId victim = 0; victim < procs; ++victim) {
+        for (const Section section :
+             {Section::Entry, Section::Critical, Section::Exit}) {
+            std::uint64_t i = 1;
+            for (; i <= kStepCap; ++i) {
+                {
+                    // Outer witness probe, as in the single-crash walk.
+                    auto cfg = base;
+                    cfg.faults =
+                        sim::FaultPlan{}.crash_restart(victim, section, i);
+                    const auto probe = recover::run_recover_experiment(cfg);
+                    ASSERT_TRUE(probe.finished);
+                    if (probe.restarts == 0) {
+                        break;
+                    }
+                }
+                std::uint64_t j = 1;
+                for (; j <= kStepCap; ++j) {
+                    auto cfg = base;
+                    cfg.faults =
+                        sim::FaultPlan{}
+                            .crash_restart(victim, section, i)
+                            .crash_restart(victim, Section::Recover, j,
+                                           /*min_restarts=*/1);
+                    const auto probe = recover::run_recover_experiment(cfg);
+                    const std::string at =
+                        to_string(kind) + " v" + std::to_string(victim) +
+                        " " + to_string(section) + " s" + std::to_string(i) +
+                        " then Recover s" + std::to_string(j);
+                    ASSERT_TRUE(probe.finished) << at;
+                    if (probe.restarts < 2) {
+                        break;  // Past the recovery's end: inner coverage.
+                    }
+                    const auto res = sim::explore_dfs(
+                        recover::recover_scenario_factory(cfg), branch_depth,
+                        /*finish_budget=*/20000);
+                    EXPECT_GT(res.schedules_explored, 0u) << at;
+                    EXPECT_EQ(res.violations, 0u)
+                        << at << ": " << res.first_violation;
+                    EXPECT_EQ(res.incomplete_runs, 0u) << at;
+                    ++placements_explored;
+                }
+                // Inner stopping witness: every recovery takes at least one
+                // step, and the walk fell off its end before the cap.
+                ASSERT_LT(j, kStepCap)
+                    << to_string(kind) << " v" << victim << " "
+                    << to_string(section) << " s" << i;
+                ASSERT_GE(j, 2u) << to_string(kind) << " v" << victim << " "
+                                 << to_string(section) << " s" << i;
+            }
+            ASSERT_LT(i, kStepCap)
+                << to_string(kind) << " v" << victim << " "
+                << to_string(section);
+        }
+    }
+    EXPECT_GT(placements_explored, 0u);
+}
+
+TEST(RecoverExplore, MutexEveryNestedDoubleCrashKeepsMEAndCSR) {
+    explore_all_double_crash_placements(RecoverLockKind::Mutex,
+                                        /*branch_depth=*/4);
+}
+
+TEST(RecoverExplore, JJJEveryNestedDoubleCrashKeepsMEAndCSR) {
+    explore_all_double_crash_placements(RecoverLockKind::JJJMutex,
+                                        /*branch_depth=*/4);
+}
+
+TEST(RecoverExplore, RWLockEveryNestedDoubleCrashKeepsMEAndCSR) {
+    explore_all_double_crash_placements(RecoverLockKind::RwLock,
+                                        /*branch_depth=*/3);
+}
+
 TEST(RecoverExplore, CrashFreeBaselineExploresClean) {
     // The fault-free scenario through the same factory: any violation here
     // would implicate the locks themselves rather than recovery.
-    for (const auto kind : {RecoverLockKind::Mutex, RecoverLockKind::RwLock}) {
+    for (const auto kind :
+         {RecoverLockKind::Mutex, RecoverLockKind::JJJMutex,
+          RecoverLockKind::RwLock, RecoverLockKind::RwLockJJJ}) {
         const auto res = sim::explore_dfs(
             recover::recover_scenario_factory(tiny_cfg(kind)),
             /*branch_depth=*/6, /*finish_budget=*/20000);
