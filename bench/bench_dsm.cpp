@@ -14,9 +14,19 @@
 // Bonus observation: Lemma 1 ("every expanding step incurs an RMR") is
 // itself CC-specific. Under DSM a variable's *owner* reads newly-written
 // values locally, so expanding-but-free steps occur; the table counts them.
+//
+// Flags:
+//   --json <path>  emit the E11a grid and E11b waiting costs as
+//                  "rwr-bench-v1" rows (sim-exact, deterministic), so the
+//                  DSM numbers reach bench_compare gating like every other
+//                  experiment. E11b rows disambiguate the hold duration
+//                  via the "workload" key field ("holdN").
+#include <cstring>
 #include <iostream>
 #include <memory>
+#include <string>
 
+#include "harness/bench_json.hpp"
 #include "harness/experiment.hpp"
 #include "harness/table.hpp"
 #include "knowledge/awareness.hpp"
@@ -30,6 +40,7 @@ using namespace rwr::harness;
 struct DsmPoint {
     double rd = 0, wr = 0;
     std::uint64_t lemma1_free_expansions = 0;
+    std::vector<std::uint64_t> proc_rmrs;
 };
 
 DsmPoint measure(Protocol proto, std::uint32_t n, std::uint32_t f) {
@@ -71,7 +82,29 @@ DsmPoint measure(Protocol proto, std::uint32_t n, std::uint32_t f) {
     out.rd /= std::max<std::uint64_t>(1, rd_passages);
     out.wr /= std::max<std::uint64_t>(1, wr_passages);
     out.lemma1_free_expansions = tracker.lemma1_violations();
+    out.proc_rmrs = sys.memory().proc_rmrs();
+    out.proc_rmrs.resize(n + 1, 0);
     return out;
+}
+
+void e11a_row(json::Value* results, Protocol proto, std::uint32_t n,
+              std::uint32_t f, const DsmPoint& pt) {
+    if (results == nullptr) {
+        return;
+    }
+    auto row = json::Value::object();
+    row.set("lock", "e11-af");
+    row.set("protocol", to_string(proto));
+    row.set("n", n);
+    row.set("m", 1);
+    row.set("f", f);
+    row.set("threads", n + 1);
+    auto rmr = json::Value::object();
+    rmr.set("reader_mean_passage", pt.rd);
+    rmr.set("writer_mean_passage", pt.wr);
+    row.set("sim_rmr", std::move(rmr));
+    row.set("proc_rmr", bench::proc_rmr_to_json(pt.proc_rmrs, n));
+    results->push_back(std::move(row));
 }
 
 }  // namespace
@@ -110,7 +143,20 @@ std::pair<std::uint64_t, std::uint64_t> waiting_cost(Protocol proto,
     return {r.stats().rmrs_in(Section::Entry), cs_hold};
 }
 
-int main() {
+int main(int argc, char** argv) {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc) {
+            json_path = argv[++i];
+        }
+    }
+    auto doc = rwr::harness::bench::make_doc("dsm");
+    rwr::harness::json::Value* results = nullptr;
+    if (!json_path.empty()) {
+        results =
+            &doc.set("results", rwr::harness::json::Value::array());
+    }
+
     std::cout << "bench_dsm: A_f under cache-coherent write-back vs DSM "
                  "accounting (E11)\n";
 
@@ -124,6 +170,8 @@ int main() {
         }
         const auto cc = measure(Protocol::WriteBack, n, f);
         const auto dsm = measure(Protocol::Dsm, n, f);
+        e11a_row(results, Protocol::WriteBack, n, f, cc);
+        e11a_row(results, Protocol::Dsm, n, f, dsm);
         t.row({fmt(n), fmt(f), fmt(cc.rd), fmt(dsm.rd),
                fmt(dsm.rd / std::max(1.0, cc.rd), 1), fmt(cc.wr),
                fmt(dsm.wr)});
@@ -137,6 +185,28 @@ int main() {
     for (const std::uint64_t hold : {4u, 16u, 64u, 256u, 1024u}) {
         const auto cc = waiting_cost(Protocol::WriteBack, hold);
         const auto dsm = waiting_cost(Protocol::Dsm, hold);
+        if (results != nullptr) {
+            for (const auto& [proto, cost] :
+                 {std::pair{Protocol::WriteBack, cc.first},
+                  std::pair{Protocol::Dsm, dsm.first}}) {
+                auto row = rwr::harness::json::Value::object();
+                row.set("lock", "e11b-wait");
+                row.set("protocol", to_string(proto));
+                row.set("n", 1);
+                row.set("m", 1);
+                row.set("f", 1);
+                row.set("threads", 2);
+                // The hold duration is part of the bench_diff row key.
+                row.set("workload", "hold" + std::to_string(hold));
+                auto rmr = rwr::harness::json::Value::object();
+                // Entry RMRs of the single waiting reader for the whole
+                // (one-passage) wait -- the E11b separation metric.
+                rmr.set("reader_mean_passage", cost);
+                rmr.set("writer_mean_passage", 0);
+                row.set("sim_rmr", std::move(rmr));
+                results->push_back(std::move(row));
+            }
+        }
         t2.row({fmt(hold), fmt(cc.first), fmt(dsm.first)});
     }
     t2.print();
@@ -172,6 +242,15 @@ int main() {
                   << tr.expanding_steps(owner.id())
                   << ", RMR-free expansions=" << tr.lemma1_violations()
                   << "  (in CC this is impossible -- Lemma 1)\n";
+    }
+    if (results != nullptr) {
+        try {
+            rwr::harness::bench::write_file(json_path, doc);
+            std::cerr << "wrote " << json_path << "\n";
+        } catch (const std::exception& e) {
+            std::cerr << "bench_dsm --json failed: " << e.what() << "\n";
+            return 1;
+        }
     }
     return 0;
 }

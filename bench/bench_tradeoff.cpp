@@ -87,6 +87,7 @@ void json_row(json::Value* results, const Cell& c, const ExperimentConfig& cfg,
                                    (res.wall_ms / 1000.0)
                              : 0.0);
     row.set("sim_perf", std::move(perf));
+    row.set("proc_rmr", bench::proc_rmr_to_json(res.proc_rmrs, cfg.n));
     results->push_back(std::move(row));
 }
 

@@ -2,12 +2,30 @@
 
 namespace rwr::core {
 
+namespace {
+
+std::unique_ptr<mutex::SimMutex> make_wl(Memory& mem, const AfParams& params) {
+    if (params.dsm_local_spin) {
+        // Writers are pids n .. n+m-1 under the harness convention, so the
+        // WL slots are homed at owner_base = n.
+        return std::make_unique<mutex::YaTournamentSimMutex>(
+            mem, "af.WL", params.m, ProcId{params.n});
+    }
+    return std::make_unique<mutex::TournamentSimMutex>(mem, "af.WL", params.m);
+}
+
+}  // namespace
+
 AfSimLock::AfSimLock(Memory& mem, AfParams params)
     : params_(params),
       k_(params.group_size()),
       groups_(params.num_groups()),
-      wl_(mem, "af.WL", params.m) {
+      wl_(make_wl(mem, params)) {
     params_.validate();
+    // DSM variant: the writer-side words live in writer 0's segment (the
+    // writer is the only process that spins on WSIG; see af_params.hpp).
+    const ProcId wowner =
+        params_.dsm_local_spin ? ProcId{params_.n} : Memory::kNoOwner;
     c_.reserve(groups_);
     w_.reserve(groups_);
     wsig_.reserve(groups_);
@@ -22,10 +40,17 @@ AfSimLock::AfSimLock(Memory& mem, AfParams params)
             mem, "af.W" + std::to_string(i), k_, owner_base));
         // WSIG[i] init <0, ⊥> (line 4).
         wsig_.push_back(mem.allocate("af.WSIG" + std::to_string(i),
-                                     pack_sig(0, WsOp::Bot)));
+                                     pack_sig(0, WsOp::Bot), wowner));
     }
-    wseq_ = mem.allocate("af.WSEQ", 0);                        // Line 3.
-    rsig_ = mem.allocate("af.RSIG", pack_sig(0, RsOp::Nop));   // Line 4.
+    wseq_ = mem.allocate("af.WSEQ", 0, wowner);                // Line 3.
+    rsig_ = mem.allocate("af.RSIG", pack_sig(0, RsOp::Nop), wowner);  // L. 4.
+    if (params_.dsm_local_spin) {
+        rgate_.reserve(params_.n);
+        for (std::uint32_t r = 0; r < params_.n; ++r) {
+            rgate_.push_back(
+                mem.allocate("af.RGATE" + std::to_string(r), 0, ProcId{r}));
+        }
+    }
 }
 
 // --- Readers (paper lines 29-49) --------------------------------------------
@@ -54,10 +79,25 @@ sim::SimTask<void> AfSimLock::reader_entry(sim::Process& p) {
     if (sig_rs_op(sig) == RsOp::Wait) {       // Line 33.
         co_await w_[group]->add(p, slot, +1);  // Line 34.
         co_await help_wcs(p, group, seq);      // Line 35.
-        for (;;) {                             // Line 36: await RSIG change.
-            const Word cur = co_await p.read(rsig_);
-            if (cur != pack_sig(seq, RsOp::Wait)) {
-                break;
+        if (params_.dsm_local_spin) {
+            // Line 36, DSM variant: spin on OUR gate, homed here. RSIG ==
+            // <seq, WAIT> implies the passage-seq writer has not exited,
+            // so the gate still holds <= seq; the exit publishes seq + 1
+            // to every gate (before releasing WL), and gate values are
+            // monotone in seq -- the gate exceeding `seq` is exactly
+            // "the passage-seq writer has left". No lost or false wakes.
+            for (;;) {
+                const Word g = co_await p.read(rgate_[p.role_index()]);
+                if (g > seq) {
+                    break;
+                }
+            }
+        } else {
+            for (;;) {  // Line 36: await RSIG change.
+                const Word cur = co_await p.read(rsig_);
+                if (cur != pack_sig(seq, RsOp::Wait)) {
+                    break;
+                }
             }
         }
         co_await w_[group]->add(p, slot, -1);  // Line 37.
@@ -88,7 +128,7 @@ sim::SimTask<void> AfSimLock::reader_exit(sim::Process& p) {
 // --- Writers (paper lines 5-28) ----------------------------------------------
 
 sim::SimTask<void> AfSimLock::writer_entry(sim::Process& p) {
-    co_await wl_.enter(p, p.role_index());  // Line 6.
+    co_await wl_->enter(p, p.role_index());  // Line 6.
 
     // Only the WL holder writes WSEQ, so this read is stable for the whole
     // passage (the paper reads val(WSEQ) throughout).
@@ -136,7 +176,15 @@ sim::SimTask<void> AfSimLock::writer_exit(sim::Process& p) {
     const Word seq = co_await p.read(wseq_);            // Stable: we hold WL.
     co_await p.write(wseq_, seq + 1);                    // Line 25.
     co_await p.write(rsig_, pack_sig(seq + 1, RsOp::Nop));  // Line 26.
-    co_await wl_.exit(p, p.role_index());                // Line 27.
+    if (params_.dsm_local_spin) {
+        // DSM variant: publish the passage boundary to every reader's
+        // gate. Theta(n) writes, all before the WL handover -- the
+        // writer-side price of DSM-local reader spins (af_params.hpp).
+        for (std::uint32_t r = 0; r < params_.n; ++r) {
+            co_await p.write(rgate_[r], seq + 1);
+        }
+    }
+    co_await wl_->exit(p, p.role_index());               // Line 27.
 }
 
 }  // namespace rwr::core

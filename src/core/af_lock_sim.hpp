@@ -41,7 +41,8 @@ class AfSimLock final : public sim::SimRWLock {
     sim::SimTask<void> writer_exit(sim::Process& p) override;
 
     [[nodiscard]] std::string name() const override {
-        return "A_f(f=" + std::to_string(params_.f) + ")";
+        return "A_f(f=" + std::to_string(params_.f) + ")" +
+               (params_.dsm_local_spin ? "+dsm" : "");
     }
 
     [[nodiscard]] const AfParams& params() const { return params_; }
@@ -81,10 +82,17 @@ class AfSimLock final : public sim::SimRWLock {
 
     std::vector<std::unique_ptr<counter::FArraySimCounter>> c_;  ///< C[i].
     std::vector<std::unique_ptr<counter::FArraySimCounter>> w_;  ///< W[i].
-    mutex::TournamentSimMutex wl_;                               ///< WL.
+    /// WL: Peterson tournament by default; the DSM-homed Yang-Anderson
+    /// tournament when params_.dsm_local_spin (same O(log m) CC cost,
+    /// bounded exit, starvation freedom -- a drop-in per the paper).
+    std::unique_ptr<mutex::SimMutex> wl_;
     VarId wseq_;                ///< WSEQ (line 3).
     VarId rsig_;                ///< RSIG (line 4).
     std::vector<VarId> wsig_;   ///< WSIG[i] (line 4).
+    /// DSM variant only: per-reader grant gate (homed at its reader),
+    /// holding the latest writer seq whose exit has been published to that
+    /// reader. Monotone; replaces the line-36 RSIG spin.
+    std::vector<VarId> rgate_;
 };
 
 }  // namespace rwr::core

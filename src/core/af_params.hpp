@@ -17,6 +17,20 @@ struct AfParams {
     std::uint32_t m = 1;  ///< Number of writer processes.
     std::uint32_t f = 1;  ///< Writer RMR budget: number of reader groups.
 
+    /// DSM variant (off by default; CC numbers are bit-identical either
+    /// way, since owners are ignored outside Protocol::Dsm). When set:
+    /// WSEQ/WSIG/RSIG are homed at writer 0 (pid n under the harness
+    /// convention "readers first, then writers"), the readers' RSIG spin
+    /// (paper line 36) is replaced by a per-reader grant gate homed at
+    /// that reader, and WL is the DSM-homed Yang-Anderson tournament.
+    /// Reader passages then stay Theta(log K) RMRs under Dsm; the writer
+    /// exit pays Theta(n) gate writes -- the unavoidable writer-side price
+    /// of DSM-local reader spins (Danek & Hadzilacos's Omega(n) DSM
+    /// lower bound; see EXPERIMENTS.md E11/E15). With m > 1 the WSIG spin
+    /// is local only for writer 0; the E15 grid runs m = 1, where the
+    /// homing is exact.
+    bool dsm_local_spin = false;
+
     /// K = ceil(n / f): readers per group (paper line 1).
     [[nodiscard]] std::uint32_t group_size() const { return (n + f - 1) / f; }
     /// Actual number of groups needed to cover n readers with groups of K.

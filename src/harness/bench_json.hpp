@@ -11,7 +11,9 @@
 //                    "telemetry"?    { <counter>: u64 },
 //                    "sim_rmr"?      { reader_mean_passage, reader_max_passage,
 //                                      writer_mean_passage, writer_max_passage },
-//                    "sim_perf"?     { steps, wall_ms, steps_per_sec } } ]
+//                    "sim_perf"?     { steps, wall_ms, steps_per_sec },
+//                    "proc_rmr"?     { reader_total_mean, reader_total_max,
+//                                      writer_total_mean, writer_total_max } } ]
 //   }
 //
 // A row must carry at least one payload group (throughput_ops, sim_rmr or
@@ -23,10 +25,13 @@
 // tolerance (--max-perf-drop) than the sim-RMR gate.
 #pragma once
 
+#include <algorithm>
+#include <cstdint>
 #include <fstream>
 #include <iterator>
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 #include "harness/json.hpp"
 #include "native/telemetry.hpp"
@@ -67,6 +72,39 @@ inline json::Value latency_to_json(const native::TelemetrySnapshot& snap) {
         q.set("max", snap.quantile_ns(histo, 1.0));
         obj.set(native::to_string(histo), std::move(q));
     }
+    return obj;
+}
+
+/// Per-process whole-run RMR totals (Memory::proc_rmrs, surfaced as
+/// ExperimentResult::proc_rmrs) -> a "proc_rmr" row object. `num_readers`
+/// splits the pid space per the harness convention: pids below it are
+/// readers, the rest writers. Sim-exact, like sim_rmr.
+inline json::Value proc_rmr_to_json(const std::vector<std::uint64_t>& per_proc,
+                                    std::uint32_t num_readers) {
+    std::uint64_t rd_max = 0, wr_max = 0, rd_sum = 0, wr_sum = 0;
+    std::uint64_t rd_cnt = 0, wr_cnt = 0;
+    for (std::size_t p = 0; p < per_proc.size(); ++p) {
+        if (p < num_readers) {
+            rd_sum += per_proc[p];
+            rd_max = std::max(rd_max, per_proc[p]);
+            ++rd_cnt;
+        } else {
+            wr_sum += per_proc[p];
+            wr_max = std::max(wr_max, per_proc[p]);
+            ++wr_cnt;
+        }
+    }
+    json::Value obj = json::Value::object();
+    obj.set("reader_total_mean",
+            rd_cnt > 0 ? static_cast<double>(rd_sum) /
+                             static_cast<double>(rd_cnt)
+                       : 0.0);
+    obj.set("reader_total_max", rd_max);
+    obj.set("writer_total_mean",
+            wr_cnt > 0 ? static_cast<double>(wr_sum) /
+                             static_cast<double>(wr_cnt)
+                       : 0.0);
+    obj.set("writer_total_max", wr_max);
     return obj;
 }
 
@@ -156,6 +194,23 @@ inline void validate(const json::Value& doc) {
                 const auto* v = perf->find(key);
                 if (v == nullptr || !v->is_number()) {
                     throw std::runtime_error(at + "sim_perf lacks \"" + key +
+                                             "\"");
+                }
+            }
+        }
+        // Optional per-process RMR breakdown; payload-like but never a
+        // row's only payload (it always rides beside sim_rmr).
+        const auto* prmr = row.find("proc_rmr");
+        if (prmr != nullptr) {
+            if (prmr->type() != json::Value::Type::Object) {
+                throw std::runtime_error(at + "proc_rmr not an object");
+            }
+            for (const char* key :
+                 {"reader_total_mean", "reader_total_max",
+                  "writer_total_mean", "writer_total_max"}) {
+                const auto* v = prmr->find(key);
+                if (v == nullptr || !v->is_number()) {
+                    throw std::runtime_error(at + "proc_rmr lacks \"" + key +
                                              "\"");
                 }
             }

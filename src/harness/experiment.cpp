@@ -171,6 +171,8 @@ ExperimentResult run_experiment(const ExperimentConfig& cfg) {
         res.schedule = recorder->choices();
     }
     aggregate(*b.records, *b.sys, &res.readers, &res.writers);
+    res.proc_rmrs = b.sys->memory().proc_rmrs();
+    res.proc_rmrs.resize(cfg.n + cfg.m, 0);
     return res;
 }
 

@@ -80,6 +80,11 @@ struct ExperimentResult {
     RoleStats writers;
     std::uint32_t max_concurrent_readers = 0;
     std::uint64_t me_violations = 0;
+    /// Whole-run RMR total per ProcId (readers are pids [0, n), writers
+    /// [n, n+m)), straight from Memory::proc_rmrs(). May be shorter than
+    /// n + m; missing trailing entries are zero. Sums to the run's total
+    /// RMRs -- the per-process breakdown the DSM experiments slice.
+    std::vector<std::uint64_t> proc_rmrs;
 
     // ---- Robustness outcomes --------------------------------------------
     bool all_surviving_finished = false;  ///< Finished modulo crashed procs.

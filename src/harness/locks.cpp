@@ -12,6 +12,7 @@ namespace rwr::harness {
 std::string to_string(LockKind k) {
     switch (k) {
         case LockKind::Af: return "A_f";
+        case LockKind::AfDsm: return "A_f+dsm";
         case LockKind::Centralized: return "centralized";
         case LockKind::Faa: return "faa";
         case LockKind::PhaseFair: return "phase-fair";
@@ -33,11 +34,13 @@ std::unique_ptr<sim::SimRWLock> make_sim_lock(LockKind kind, Memory& mem,
                                               std::uint32_t m,
                                               std::uint32_t f) {
     switch (kind) {
-        case LockKind::Af: {
+        case LockKind::Af:
+        case LockKind::AfDsm: {
             core::AfParams params;
             params.n = n;
             params.m = m;
             params.f = std::clamp<std::uint32_t>(f, 1, n);
+            params.dsm_local_spin = (kind == LockKind::AfDsm);
             return std::make_unique<core::AfSimLock>(mem, params);
         }
         case LockKind::Centralized:

@@ -13,6 +13,11 @@ namespace rwr::harness {
 
 enum class LockKind {
     Af,           ///< The paper's A_f (core contribution); needs f.
+    AfDsm,        ///< A_f with AfParams::dsm_local_spin: DSM-homed spin
+                  ///< variables (af_params.hpp). Deliberately NOT in
+                  ///< all_lock_kinds() -- it is a Protocol::Dsm variant and
+                  ///< would only duplicate Af in the CC sweeps; E15 and
+                  ///< test_dsm_locks name it explicitly.
     Centralized,  ///< One-word CAS lock.
     Faa,          ///< Fetch-and-add centralized lock (outside the tradeoff).
     PhaseFair,    ///< Brandenburg-Anderson PF-T (FAA; the fairness side of

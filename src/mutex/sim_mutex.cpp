@@ -86,12 +86,142 @@ sim::SimTask<void> TournamentSimMutex::exit(sim::Process& p,
     }
 }
 
+YaTournamentSimMutex::YaTournamentSimMutex(Memory& mem,
+                                           const std::string& name,
+                                           std::uint32_t m,
+                                           std::optional<ProcId> owner_base)
+    : m_(m),
+      num_leaves_(m <= 1 ? 1 : std::bit_ceil(m)),
+      levels_(static_cast<std::uint32_t>(std::bit_width(num_leaves_) - 1)) {
+    if (m == 0) {
+        throw std::invalid_argument("YaTournamentSimMutex: m must be >= 1");
+    }
+    const std::uint32_t num_nodes = num_leaves_ - 1;  // 0 when m == 1.
+    nodes_.reserve(num_nodes);
+    for (std::uint32_t i = 0; i < num_nodes; ++i) {
+        Node n;
+        n.comp[0] = mem.allocate(name + ".n" + std::to_string(i) + ".c0", 0);
+        n.comp[1] = mem.allocate(name + ".n" + std::to_string(i) + ".c1", 0);
+        n.turn = mem.allocate(name + ".n" + std::to_string(i) + ".turn", 0);
+        nodes_.push_back(n);
+    }
+    // One spin variable per (slot, level), homed at its slot's process:
+    // only slot s ever spins on spin_of(s, lvl), so this is the placement
+    // that makes every busy-wait DSM-local.
+    spin_.reserve(std::size_t{m_} * levels_);
+    for (std::uint32_t s = 0; s < m_; ++s) {
+        const ProcId owner =
+            owner_base.has_value() ? *owner_base + s : Memory::kNoOwner;
+        for (std::uint32_t lvl = 0; lvl < levels_; ++lvl) {
+            spin_.push_back(mem.allocate(name + ".p" + std::to_string(s) +
+                                             ".l" + std::to_string(lvl),
+                                         0, owner));
+        }
+    }
+}
+
+sim::SimTask<void> YaTournamentSimMutex::node_enter(sim::Process& p,
+                                                    std::uint32_t n, Word side,
+                                                    std::uint32_t slot,
+                                                    std::uint32_t lvl) {
+    const Node& node = nodes_[n];
+    const Word self = slot + 1;
+    co_await p.write(node.comp[side], self);
+    co_await p.write(node.turn, self);
+    co_await p.write(spin_of(slot, lvl), 0);
+    const Word rival = co_await p.read(node.comp[1 - side]);
+    if (rival == 0) {
+        co_return;  // Uncontended: straight through.
+    }
+    const Word turn = co_await p.read(node.turn);
+    if (turn != self) {
+        co_return;  // Rival wrote turn after us: we win this round.
+    }
+    // Nudge the rival past its first wait (it may have parked before we
+    // registered), then wait our own turn out.
+    const Word rv = co_await p.read(spin_of(rival - 1, lvl));
+    if (rv == 0) {
+        co_await p.write(spin_of(rival - 1, lvl), 1);
+    }
+    for (;;) {  // Local spin: only the rival writes our variable.
+        const Word w = co_await p.read(spin_of(slot, lvl));
+        if (w >= 1) {
+            break;
+        }
+    }
+    const Word turn2 = co_await p.read(node.turn);
+    if (turn2 != self) {
+        co_return;
+    }
+    for (;;) {  // Still the victim: wait for the rival's exit grant.
+        const Word w = co_await p.read(spin_of(slot, lvl));
+        if (w == 2) {
+            break;
+        }
+    }
+}
+
+sim::SimTask<void> YaTournamentSimMutex::node_exit(sim::Process& p,
+                                                   std::uint32_t n, Word side,
+                                                   std::uint32_t slot,
+                                                   std::uint32_t lvl) {
+    const Node& node = nodes_[n];
+    co_await p.write(node.comp[side], 0);
+    const Word turn = co_await p.read(node.turn);
+    if (turn != slot + 1) {
+        // The rival registered after us and is (or will be) the victim:
+        // grant it. Writing 2 unconditionally is safe -- the slot's owner
+        // resets it to 0 at the start of each node entry.
+        co_await p.write(spin_of(turn - 1, lvl), 2);
+    }
+}
+
+sim::SimTask<void> YaTournamentSimMutex::enter(sim::Process& p,
+                                               std::uint32_t slot) {
+    if (slot >= m_) {
+        throw std::invalid_argument("YaTournamentSimMutex::enter: bad slot");
+    }
+    std::uint32_t pos = (num_leaves_ - 1) + slot;
+    std::uint32_t lvl = 0;
+    while (pos != 0) {
+        const std::uint32_t parent = (pos - 1) / 2;
+        const Word side = (pos == 2 * parent + 1) ? 0 : 1;
+        co_await node_enter(p, parent, side, slot, lvl);
+        pos = parent;
+        ++lvl;
+    }
+}
+
+sim::SimTask<void> YaTournamentSimMutex::exit(sim::Process& p,
+                                              std::uint32_t slot) {
+    if (slot >= m_) {
+        throw std::invalid_argument("YaTournamentSimMutex::exit: bad slot");
+    }
+    // Release top-down (reverse of acquisition order), tracking the level
+    // each node was entered at so the exit signals the right spin word.
+    std::uint32_t path[32];
+    std::uint32_t depth = 0;
+    std::uint32_t pos = (num_leaves_ - 1) + slot;
+    while (pos != 0) {
+        path[depth++] = pos;
+        pos = (pos - 1) / 2;
+    }
+    for (std::uint32_t i = depth; i-- > 0;) {
+        const std::uint32_t child = path[i];
+        const std::uint32_t parent = (child - 1) / 2;
+        const Word side = (child == 2 * parent + 1) ? 0 : 1;
+        co_await node_exit(p, parent, side, slot, i);
+    }
+}
+
 McsSimMutex::McsSimMutex(Memory& mem, const std::string& name,
                          std::uint32_t m, std::optional<ProcId> owner_base) {
     if (m == 0) {
         throw std::invalid_argument("McsSimMutex: m must be >= 1");
     }
-    tail_ = mem.allocate(name + ".tail", 0);
+    tail_ = mem.allocate(
+        name + ".tail", 0,
+        owner_base.has_value() ? *owner_base : Memory::kNoOwner);
     locked_.reserve(m);
     next_.reserve(m);
     for (std::uint32_t s = 0; s < m; ++s) {

@@ -65,6 +65,61 @@ class TournamentSimMutex final : public SimMutex {
     std::vector<Node> nodes_;   ///< Heap-ordered; nodes_[0] is the root.
 };
 
+/// Arbitration tree over the Yang-Anderson two-process local-spin lock
+/// (Yang & Anderson, Distributed Computing 1995) instead of Peterson
+/// nodes. Same shape and O(log m) CC passage cost as TournamentSimMutex,
+/// but every spin is on a dedicated per-slot per-level variable that only
+/// the rival writes -- so with `owner_base` the spin variables live in the
+/// spinner's DSM segment and the passage cost is O(log m) under Dsm too.
+/// The Peterson tree cannot be homed this way: its per-node flag/victim
+/// words are spun on by whichever process currently competes on the other
+/// side, so no single home is ever right; that makes TournamentSimMutex
+/// the natural unhomed-spin ablation in bench_separation (E15).
+///
+/// Reads and writes only, starvation-free, bounded exit (the exit is
+/// wait-free: one write + one read + at most one write per level), so it
+/// qualifies as Algorithm 1's WL wherever the Peterson tree does.
+///
+/// Homing convention (owner_base): participant slot s is driven by the
+/// process with ProcId owner_base + s, and every variable that slot s
+/// spins on is allocated with that owner. CC protocols ignore owners, so
+/// passing owner_base never changes WriteThrough/WriteBack numbers.
+class YaTournamentSimMutex final : public SimMutex {
+   public:
+    YaTournamentSimMutex(Memory& mem, const std::string& name, std::uint32_t m,
+                         std::optional<ProcId> owner_base = std::nullopt);
+
+    sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot) override;
+    sim::SimTask<void> exit(sim::Process& p, std::uint32_t slot) override;
+    [[nodiscard]] std::string name() const override { return "ya-tournament"; }
+
+    [[nodiscard]] std::uint32_t levels() const { return levels_; }
+
+   private:
+    struct Node {
+        VarId comp[2];  ///< Competitor slot + 1 per side; 0 = nobody.
+        VarId turn;     ///< Slot + 1 of the last process to write it.
+    };
+
+    /// Spin variable of `slot` at tree level `lvl` (0 = leaf level).
+    /// Values: 0 = reset by owner, 1 = rival's "I saw you" nudge,
+    /// 2 = rival's exit grant.
+    [[nodiscard]] VarId spin_of(std::uint32_t slot, std::uint32_t lvl) const {
+        return spin_[slot * levels_ + lvl];
+    }
+
+    sim::SimTask<void> node_enter(sim::Process& p, std::uint32_t n, Word side,
+                                  std::uint32_t slot, std::uint32_t lvl);
+    sim::SimTask<void> node_exit(sim::Process& p, std::uint32_t n, Word side,
+                                 std::uint32_t slot, std::uint32_t lvl);
+
+    std::uint32_t m_;
+    std::uint32_t num_leaves_;
+    std::uint32_t levels_;
+    std::vector<Node> nodes_;  ///< Heap-ordered; nodes_[0] is the root.
+    std::vector<VarId> spin_;  ///< [slot * levels_ + lvl], homed at slot.
+};
+
 /// MCS queue lock (Mellor-Crummey & Scott 1991), built from read, write and
 /// CAS (the fetch-and-store of the original is a CAS retry loop here).
 /// Each waiter spins on its OWN queue node, which its predecessor clears:
@@ -87,7 +142,11 @@ class McsSimMutex final : public SimMutex {
     [[nodiscard]] std::string name() const override { return "mcs"; }
 
    private:
-    /// In tail_/next_: 0 = null, k+1 = queue node of slot k.
+    /// In tail_/next_: 0 = null, k+1 = queue node of slot k. Nobody ever
+    /// spins on the tail (it is CASed O(1) times per passage), so any fixed
+    /// home keeps the DSM passage cost O(1); we home it at the coordinator
+    /// (slot 0's process, owner_base + 0) so that, like every other
+    /// variable of a homed lock, it lives in *some* participant's segment.
     VarId tail_;
     std::vector<VarId> locked_;  ///< Per slot; cleared by the predecessor.
     std::vector<VarId> next_;    ///< Per slot; successor link.

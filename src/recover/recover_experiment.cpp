@@ -54,8 +54,10 @@ std::unique_ptr<BuiltRecoverScenario> build(const RecoverExperimentConfig& cfg,
             break;
         case RecoverLockKind::JJJMutex:
             num_procs = cfg.m;
-            b->lock = std::make_unique<RecoverableJJJMutex>(mem, "rjjj",
-                                                            cfg.m, cfg.delta);
+            b->lock = std::make_unique<RecoverableJJJMutex>(
+                mem, "rjjj", cfg.m, cfg.delta,
+                cfg.dsm_home ? std::optional<ProcId>{ProcId{0}}
+                             : std::nullopt);
             break;
         case RecoverLockKind::RwLock:
             num_procs = cfg.n + cfg.m;

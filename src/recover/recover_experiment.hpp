@@ -32,6 +32,12 @@ struct RecoverExperimentConfig {
     std::uint32_t f = 1;  ///< RwLock group count.
     /// JJJ node arity (JJJMutex / RwLockJJJ); 0 = auto (Theta(log m)).
     std::uint32_t delta = 0;
+    /// JJJMutex only: build the lock in DSM mode (owner_base = 0, matching
+    /// this harness's slot-s-runs-on-pid-s convention), exercising the
+    /// homed wake layer under whatever `protocol` says. CC protocols
+    /// ignore homes, so this only changes which variables the wait loops
+    /// touch -- useful for crashing INTO the wake-layer registration.
+    bool dsm_home = false;
     std::uint64_t passages = 4;
     std::uint64_t cs_steps = 1;
     harness::SchedKind sched = harness::SchedKind::Random;

@@ -7,8 +7,9 @@
 namespace rwr::recover {
 
 RecoverableJJJMutex::RecoverableJJJMutex(Memory& mem, const std::string& name,
-                                         std::uint32_t m, std::uint32_t delta)
-    : m_(m) {
+                                         std::uint32_t m, std::uint32_t delta,
+                                         std::optional<ProcId> owner_base)
+    : m_(m), owner_base_(owner_base) {
     if (m == 0) {
         throw std::invalid_argument("RecoverableJJJMutex: m must be >= 1");
     }
@@ -42,18 +43,35 @@ RecoverableJJJMutex::RecoverableJJJMutex(Memory& mem, const std::string& name,
             nd.tkt.reserve(delta_);
             nd.nstate.reserve(delta_);
             for (std::uint32_t q = 0; q < delta_; ++q) {
+                // DSM mode: a leaf port is exclusive to one slot, so its
+                // words live in that slot's segment. Upper-level ports are
+                // shared (serially) and stay unhomed; every access to them
+                // is O(1) per passage, never a spin.
+                const std::uint32_t leaf_slot = i * delta_ + q;
+                const ProcId owner =
+                    owner_base.has_value() && level_base_.size() == 1 &&
+                            leaf_slot < m
+                        ? *owner_base + leaf_slot
+                        : Memory::kNoOwner;
                 nd.obs.push_back(
-                    mem.allocate(nn + ".obs" + std::to_string(q), 0));
+                    mem.allocate(nn + ".obs" + std::to_string(q), 0, owner));
                 nd.tkt.push_back(
-                    mem.allocate(nn + ".tkt" + std::to_string(q), 0));
-                nd.nstate.push_back(
-                    mem.allocate(nn + ".nstate" + std::to_string(q), kNIdle));
+                    mem.allocate(nn + ".tkt" + std::to_string(q), 0, owner));
+                nd.nstate.push_back(mem.allocate(
+                    nn + ".nstate" + std::to_string(q), kNIdle, owner));
             }
             nd.grant.reserve(grant_slots());
             for (std::uint32_t s = 0; s < grant_slots(); ++s) {
                 // grant[0] = 1: ticket 0 starts granted.
                 nd.grant.push_back(mem.allocate(
                     nn + ".grant" + std::to_string(s), s == 0 ? 1 : 0));
+            }
+            if (owner_base.has_value()) {
+                nd.wproc.reserve(grant_slots());
+                for (std::uint32_t s = 0; s < grant_slots(); ++s) {
+                    nd.wproc.push_back(
+                        mem.allocate(nn + ".wproc" + std::to_string(s), 0));
+                }
             }
             nodes_.push_back(std::move(nd));
         }
@@ -68,6 +86,13 @@ RecoverableJJJMutex::RecoverableJJJMutex(Memory& mem, const std::string& name,
     for (std::uint32_t s = 0; s < m; ++s) {
         stage_.push_back(
             mem.allocate(name + ".stage" + std::to_string(s), kIdle));
+    }
+    if (owner_base_.has_value()) {
+        wcell_.reserve(m);
+        for (std::uint32_t s = 0; s < m; ++s) {
+            wcell_.push_back(mem.allocate(name + ".wcell" + std::to_string(s),
+                                          0, *owner_base_ + s));
+        }
     }
 }
 
@@ -88,15 +113,52 @@ RecoverableJJJMutex::path_of(std::uint32_t slot) const {
 sim::SimTask<void> RecoverableJJJMutex::node_await_grant(sim::Process& p,
                                                          const Node& nd,
                                                          std::uint32_t port,
+                                                         std::uint32_t slot,
                                                          Word t) {
-    // Exact-value spin on this ticket's own grant slot: at most one write
-    // lands here while we wait (the unreleased window is < S wide), so the
-    // CC cost is one miss + one invalidation regardless of delta.
-    const VarId slot_var = nd.grant[t % grant_slots()];
-    for (;;) {
-        const Word g = co_await p.read(slot_var);
-        if (g == t + 1) {
-            break;
+    const VarId grant_var = nd.grant[t % grant_slots()];
+    if (!owner_base_.has_value()) {
+        // Exact-value spin on this ticket's own grant slot: at most one
+        // write lands here while we wait (the unreleased window is < S
+        // wide), so the CC cost is one miss + one invalidation regardless
+        // of delta.
+        for (;;) {
+            const Word g = co_await p.read(grant_var);
+            if (g == t + 1) {
+                break;
+            }
+        }
+    } else {
+        // DSM mode: wait on our own wake cell, not the grant word (see
+        // header). The grant stays authoritative; every re-check of it is
+        // preceded by either registering or a wake, so the remote accesses
+        // per genuine wake are O(1).
+        const VarId wake = wcell_[slot];
+        const VarId reg = nd.wproc[t % grant_slots()];
+        bool registered = false;
+        for (;;) {
+            Word g = co_await p.read(grant_var);
+            if (g == t + 1) {
+                break;
+            }
+            const Word snap = co_await p.read(wake);  // Local.
+            co_await p.write(reg, slot + 1);          // Register, ...
+            registered = true;
+            g = co_await p.read(grant_var);           // ... then re-check.
+            if (g == t + 1) {
+                break;
+            }
+            for (;;) {  // Local spin: the wake cell is homed here.
+                const Word w = co_await p.read(wake);
+                if (w != snap) {
+                    break;
+                }
+            }
+        }
+        if (registered) {
+            // Retire the registration so later releases of this grant slot
+            // don't keep bumping us. CAS, never a blind write: the waiter
+            // for ticket t + S may have registered here already.
+            co_await p.cas(reg, slot + 1, 0);
         }
     }
     co_await p.write(nd.nstate[port], kNHolder);
@@ -104,7 +166,8 @@ sim::SimTask<void> RecoverableJJJMutex::node_await_grant(sim::Process& p,
 
 sim::SimTask<void> RecoverableJJJMutex::node_take_fresh(sim::Process& p,
                                                         const Node& nd,
-                                                        std::uint32_t port) {
+                                                        std::uint32_t port,
+                                                        std::uint32_t slot) {
     Word t = 0;
     for (;;) {
         const Word cur = co_await p.read(nd.tail);
@@ -119,7 +182,7 @@ sim::SimTask<void> RecoverableJJJMutex::node_take_fresh(sim::Process& p,
         }
     }
     co_await p.write(nd.tkt[port], t + 1);
-    co_await node_await_grant(p, nd, port, t);
+    co_await node_await_grant(p, nd, port, slot, t);
 }
 
 sim::SimTask<void> RecoverableJJJMutex::node_grant_next(sim::Process& p,
@@ -134,15 +197,27 @@ sim::SimTask<void> RecoverableJJJMutex::node_grant_next(sim::Process& p,
     if (cur < t + 2) {
         co_await p.write(slot_var, t + 2);
     }
+    if (owner_base_.has_value()) {
+        // Wake whoever is registered for this grant slot -- even when the
+        // guard said the grant already landed: the run that wrote it may
+        // have crashed before this point. Duplicate or stale bumps cost
+        // the target one local re-check; a miss is impossible (the
+        // grant write above precedes this read, see header).
+        const Word w = co_await p.read(nd.wproc[(t + 1) % grant_slots()]);
+        if (w != 0) {
+            co_await p.fetch_add(wcell_[w - 1], 1);
+        }
+    }
 }
 
 sim::SimTask<void> RecoverableJJJMutex::node_enter(sim::Process& p,
                                                    const Node& nd,
-                                                   std::uint32_t port) {
+                                                   std::uint32_t port,
+                                                   std::uint32_t slot) {
     // The Trying mark must precede any tail work: recovery trusts
     // nstate == Idle to mean "no ticket could exist here".
     co_await p.write(nd.nstate[port], kNTrying);
-    co_await node_take_fresh(p, nd, port);
+    co_await node_take_fresh(p, nd, port, slot);
 }
 
 sim::SimTask<void> RecoverableJJJMutex::node_release(sim::Process& p,
@@ -156,11 +231,13 @@ sim::SimTask<void> RecoverableJJJMutex::node_release(sim::Process& p,
 }
 
 sim::SimTask<void> RecoverableJJJMutex::node_recover_trying(
-    sim::Process& p, const Node& nd, std::uint32_t port) {
+    sim::Process& p, const Node& nd, std::uint32_t port, std::uint32_t slot) {
     const Word t1 = co_await p.read(nd.tkt[port]);
     if (t1 != 0) {
-        // Ticket persisted before the crash: just resume the spin.
-        co_await node_await_grant(p, nd, port, t1 - 1);
+        // Ticket persisted before the crash: just resume the spin (DSM
+        // mode re-registers in wproc -- the registration is advisory, so
+        // losing it to the crash was harmless).
+        co_await node_await_grant(p, nd, port, slot, t1 - 1);
         co_return;
     }
     // Crash inside the certified-CAS loop. Scan tail + every obs[] for a
@@ -181,11 +258,11 @@ sim::SimTask<void> RecoverableJJJMutex::node_recover_trying(
     }
     if (adopted != 0) {
         co_await p.write(nd.tkt[port], adopted);
-        co_await node_await_grant(p, nd, port, adopted - 1);
+        co_await node_await_grant(p, nd, port, slot, adopted - 1);
         co_return;
     }
     // No certificate: the CAS never landed. Start the loop over.
-    co_await node_take_fresh(p, nd, port);
+    co_await node_take_fresh(p, nd, port, slot);
 }
 
 sim::SimTask<void> RecoverableJJJMutex::node_finish_release(
@@ -225,7 +302,7 @@ sim::SimTask<void> RecoverableJJJMutex::enter(sim::Process& p,
     }
     co_await p.write(stage_[slot], kTrying);
     for (const auto& [node, port] : path_of(slot)) {
-        co_await node_enter(p, nodes_[node], port);
+        co_await node_enter(p, nodes_[node], port, slot);
     }
     co_await p.write(stage_[slot], kInCS);
 }
@@ -273,7 +350,7 @@ sim::SimTask<void> RecoverableJJJMutex::recover_slot(sim::Process& p,
                 continue;  // Won before the crash; keep.
             }
             if (ns == kNTrying) {
-                co_await node_recover_trying(p, nd, port);
+                co_await node_recover_trying(p, nd, port, slot);
                 continue;
             }
             if (ns == kNReleasing) {
@@ -282,7 +359,7 @@ sim::SimTask<void> RecoverableJJJMutex::recover_slot(sim::Process& p,
                 // the release and re-entering is safe either way.
                 co_await node_finish_release(p, nd, port);
             }
-            co_await node_enter(p, nd, port);
+            co_await node_enter(p, nd, port, slot);
         }
         co_await p.write(stage_[slot], kInCS);
         out = RecoveryOutcome::InCriticalSection;

@@ -89,15 +89,41 @@
 // already released and a peer may be re-using those ports, so recovery
 // finishes the leaf alone and must not touch anything above it.
 //
+// --- DSM mode (owner_base) ---------------------------------------------
+//
+// With `owner_base` set, slot s is driven by the process with ProcId
+// owner_base + s and the lock follows the JJJ paper's DSM construction:
+// the grant slots stay the source of truth, but nobody spins on them.
+// Each slot s owns a *wake cell* wcell[s], homed in its own segment and
+// bumped (fetch_add, hence monotone) by releasers; each node keeps an
+// advisory registry wproc[gs] = "slot + 1 currently waiting on grant
+// slot gs" (at most one at a time: concurrent waiters occupy distinct
+// grant slots mod S). Waiting becomes: snapshot own wcell, register in
+// wproc, RE-READ the grant, then spin locally until the wcell moves.
+// Releasing becomes: guarded grant write, then read wproc and bump the
+// registered waiter's wcell. No lost wakes: if the releaser's grant
+// write precedes the waiter's re-read, the waiter sees the grant
+// directly; otherwise the waiter's registration precedes the releaser's
+// wproc read, so the bump lands after the snapshot and the local spin
+// breaks. The layer is crash-safe because it is advisory: recovery
+// mid-wait simply re-registers, and a duplicate bump from a re-run
+// release (recovery re-reads wproc even when the grant guard says the
+// write already landed -- the first run may have died between the two)
+// costs one spurious local re-check. A winner retires its registration
+// with a CAS (never a blind write: a successor waiting on the same
+// grant slot S tickets later may have registered already). Leaf-level
+// per-port words (obs/tkt/nstate) are exclusive to their slot and are
+// homed with it; tail, upper ports and the grant words are O(1)
+// non-spin accesses per passage and stay unhomed.
+//
 // HONEST CAVEATS vs the paper version: the entry loop is lock-free, not
 // wait-free -- a CAS can retry O(Delta) times under a contention burst
 // (JJJ use fetch-and-store to make enqueue O(1), but an FAS ticket leaves
 // no certificate trail for crash recovery under this simulator's op set;
-// the CAS-certify loop is the price of recoverability here) -- and the
-// grant slots are CC-style spin locations, not DSM-local. The E14 claim
+// the CAS-certify loop is the price of recoverability here). The E14 claim
 // is about the *tree height* term, which dominates the measured passage
 // RMRs, and which the grid shows dropping from log2 m to
-// ceil(log m / log Delta).
+// ceil(log m / log Delta); E15 checks the DSM mode's local-spin claim.
 //
 // tests/test_recover_jjj.cpp unit-tests the node protocol including the
 // lost-ticket window; tests/test_recover_explore.cpp model-checks ME +
@@ -105,6 +131,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -120,9 +147,14 @@ class RecoverableJJJMutex final : public RecoverableSlotMutex {
    public:
     /// `delta` = node arity; 0 (the default) picks max(2, ceil(log2 m)),
     /// the sub-logarithmic-height regime. delta must fit the tail
-    /// encoding's 8-bit port field (<= 255).
+    /// encoding's 8-bit port field (<= 255). `owner_base` enables the DSM
+    /// mode (see header): slot s is assumed to run on ProcId
+    /// owner_base + s. CC protocols ignore owners, and the wake layer it
+    /// enables only changes which variables the wait loop touches, never
+    /// who wins.
     RecoverableJJJMutex(Memory& mem, const std::string& name, std::uint32_t m,
-                        std::uint32_t delta = 0);
+                        std::uint32_t delta = 0,
+                        std::optional<ProcId> owner_base = std::nullopt);
 
     sim::SimTask<void> enter(sim::Process& p, std::uint32_t slot) override;
     sim::SimTask<void> exit_slot(sim::Process& p, std::uint32_t slot) override;
@@ -155,6 +187,8 @@ class RecoverableJJJMutex final : public RecoverableSlotMutex {
         std::vector<VarId> tkt;     ///< Per port.
         std::vector<VarId> nstate;  ///< Per port.
         std::vector<VarId> grant;   ///< S = 2 * delta slots.
+        std::vector<VarId> wproc;   ///< DSM mode only: waiter registry,
+                                    ///< slot + 1 per grant slot (0 = none).
     };
 
     // Tail packing. ticket_of/taker_of decode a certificate value.
@@ -174,25 +208,30 @@ class RecoverableJJJMutex final : public RecoverableSlotMutex {
 
     [[nodiscard]] std::uint32_t grant_slots() const { return 2 * delta_; }
 
-    // -- Node protocol. `t` is always the raw ticket number. --------------
-    /// Spin until ticket `t` is granted, then mark Holder.
+    // -- Node protocol. `t` is always the raw ticket number; `slot` is the
+    // caller's whole-lock slot (the wake layer's wcell index). ------------
+    /// Spin until ticket `t` is granted, then mark Holder. DSM mode waits
+    /// on wcell_[slot] instead of the grant word (see header).
     sim::SimTask<void> node_await_grant(sim::Process& p, const Node& nd,
-                                        std::uint32_t port, Word t);
+                                        std::uint32_t port, std::uint32_t slot,
+                                        Word t);
     /// Certified-CAS loop from scratch + persist + spin (nstate already
     /// Trying).
     sim::SimTask<void> node_take_fresh(sim::Process& p, const Node& nd,
-                                       std::uint32_t port);
-    /// Grant ticket t+1, guarded (idempotent across re-runs).
+                                       std::uint32_t port, std::uint32_t slot);
+    /// Grant ticket t+1, guarded (idempotent across re-runs); DSM mode
+    /// then wakes the registered waiter.
     sim::SimTask<void> node_grant_next(sim::Process& p, const Node& nd,
                                        Word t);
     sim::SimTask<void> node_enter(sim::Process& p, const Node& nd,
-                                  std::uint32_t port);
+                                  std::uint32_t port, std::uint32_t slot);
     sim::SimTask<void> node_release(sim::Process& p, const Node& nd,
                                     std::uint32_t port);
     /// Trying repair: resume spin, adopt a certified lost ticket, or
     /// re-run the loop; ends Holder.
     sim::SimTask<void> node_recover_trying(sim::Process& p, const Node& nd,
-                                           std::uint32_t port);
+                                           std::uint32_t port,
+                                           std::uint32_t slot);
     /// Idempotent release completion for exit recovery: dispatches on
     /// nstate (Idle: nothing; Holder: full release; Releasing: finish).
     sim::SimTask<void> node_finish_release(sim::Process& p, const Node& nd,
@@ -207,6 +246,9 @@ class RecoverableJJJMutex final : public RecoverableSlotMutex {
     std::vector<std::uint32_t> level_count_;
     std::vector<Node> nodes_;
     std::vector<VarId> stage_;  ///< Per slot: kIdle/kTrying/kInCS/kExiting.
+    std::optional<ProcId> owner_base_;  ///< DSM mode iff set.
+    std::vector<VarId> wcell_;  ///< DSM mode: per-slot wake cell, homed
+                                ///< at owner_base_ + slot. Monotone.
 };
 
 }  // namespace rwr::recover

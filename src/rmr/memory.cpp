@@ -101,6 +101,10 @@ OpResult Memory::apply(ProcId p, const Op& op) {
 
     if (res.rmr) {
         ++total_rmrs_;
+        if (p >= proc_rmrs_.size()) {
+            proc_rmrs_.resize(p + 1, 0);
+        }
+        ++proc_rmrs_[p];
     }
     return res;
 }

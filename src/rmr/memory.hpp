@@ -65,6 +65,13 @@ class Memory {
     /// each variable, which is what makes recovery passages measurably more
     /// expensive than warm ones.
     void evict_all(ProcId p) {
+        if (protocol_ == Protocol::Dsm) {
+            // Dsm locality is home-based, not cache-based: the directories
+            // are never populated, so there is nothing to evict. Returning
+            // early keeps a DSM crash-restart's RMR trajectory bit-identical
+            // to the crash-free one (and skips an O(#vars) dead walk).
+            return;
+        }
         for (auto& dir : dirs_) {
             dir.evict(p);
         }
@@ -84,6 +91,17 @@ class Memory {
     /// Total shared-memory steps executed.
     [[nodiscard]] std::uint64_t total_steps() const { return total_steps_; }
 
+    /// RMRs charged to process `p` alone (0 for a process that never took
+    /// a shared-memory step). Sums to total_rmrs() across all processes.
+    [[nodiscard]] std::uint64_t rmrs_by(ProcId p) const {
+        return p < proc_rmrs_.size() ? proc_rmrs_[p] : 0;
+    }
+    /// Per-process RMR counters, indexed by ProcId. May be shorter than
+    /// the process count: trailing zero-RMR processes are not materialized.
+    [[nodiscard]] const std::vector<std::uint64_t>& proc_rmrs() const {
+        return proc_rmrs_;
+    }
+
    private:
     /// Updates coherence state for a read by p; returns true if RMR.
     bool coherent_read(ProcId p, VarId v);
@@ -97,6 +115,7 @@ class Memory {
     std::vector<ProcId> owners_;
     std::uint64_t total_rmrs_ = 0;
     std::uint64_t total_steps_ = 0;
+    std::vector<std::uint64_t> proc_rmrs_;  ///< Grown on first RMR by a pid.
 };
 
 }  // namespace rwr

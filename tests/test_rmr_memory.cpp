@@ -238,5 +238,113 @@ TEST(Accounting, TotalsAccumulate) {
     EXPECT_EQ(mem.total_rmrs(), 2u);
 }
 
+TEST(Accounting, PerProcessCountersSumToTotal) {
+    // The per-ProcId breakdown is the same events total_rmrs_ counts,
+    // bucketed -- under every protocol, across every op code.
+    for (const Protocol proto : {Protocol::WriteThrough, Protocol::WriteBack,
+                                 Protocol::Dsm}) {
+        Memory mem(proto);
+        const VarId a = mem.allocate("a", 0, /*owner=*/2);
+        const VarId b = mem.allocate("b");
+        mem.apply(0, Op::read(a));
+        mem.apply(0, Op::read(a));
+        mem.apply(1, Op::write(a, 1));
+        mem.apply(2, Op::cas(a, 1, 2));
+        mem.apply(3, Op::fetch_add(b, 5));
+        mem.apply(3, Op::read(b));
+        std::uint64_t sum = 0;
+        for (ProcId p = 0; p < 4; ++p) {
+            sum += mem.rmrs_by(p);
+        }
+        EXPECT_EQ(sum, mem.total_rmrs()) << to_string(proto);
+        for (const auto c : mem.proc_rmrs()) {
+            sum -= c;
+        }
+        EXPECT_EQ(sum, 0u) << to_string(proto);
+    }
+}
+
+TEST(Accounting, RmrsByNeverTouchedPidIsZero) {
+    Memory mem(Protocol::WriteThrough);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::read(v));
+    EXPECT_EQ(mem.rmrs_by(0), 1u);
+    EXPECT_EQ(mem.rmrs_by(17), 0u);  // Beyond the grown vector: still 0.
+}
+
+TEST(Dsm, RemoteIffNotHomeAcrossAllOpCodes) {
+    // The DSM rule has no per-op exceptions: read, write, CAS (successful,
+    // failed and trivial) and fetch&add are each local at the home and an
+    // RMR everywhere else.
+    Memory mem(Protocol::Dsm);
+    const VarId v = mem.allocate("v", 0, /*owner=*/1);
+    const auto ops_local = {Op::read(v), Op::write(v, 1), Op::cas(v, 1, 2),
+                            Op::cas(v, 99, 5), Op::cas(v, 2, 2),
+                            Op::fetch_add(v, 3), Op::fetch_add(v, 0)};
+    for (const auto& op : ops_local) {
+        EXPECT_FALSE(mem.apply(1, op).rmr);
+    }
+    for (const auto& op : ops_local) {
+        EXPECT_TRUE(mem.apply(0, op).rmr);
+    }
+    EXPECT_EQ(mem.rmrs_by(1), 0u);
+    EXPECT_EQ(mem.rmrs_by(0), 7u);
+}
+
+TEST(Dsm, SetOwnerRehomingSplitsThePerProcessLedger) {
+    // Re-homing mid-history flips which side of the per-process ledger the
+    // subsequent accesses land on; past counts are never rewritten.
+    Memory mem(Protocol::Dsm);
+    const VarId v = mem.allocate("v", 0, 1);
+    mem.apply(1, Op::read(v));  // Local.
+    mem.apply(2, Op::read(v));  // Remote.
+    mem.set_owner(v, 2);
+    mem.apply(1, Op::read(v));  // Now remote.
+    mem.apply(2, Op::write(v, 1));  // Now local.
+    mem.set_owner(v, Memory::kNoOwner);
+    mem.apply(1, Op::read(v));  // Unowned: remote to everyone.
+    mem.apply(2, Op::read(v));
+    EXPECT_EQ(mem.rmrs_by(1), 2u);
+    EXPECT_EQ(mem.rmrs_by(2), 2u);
+    EXPECT_EQ(mem.total_rmrs(), 4u);
+}
+
+TEST(Dsm, EvictAllIsANoOpUnderDsm) {
+    // Regression (crash-restart under DSM): System's crash handling evicts
+    // the victim's cache, but the DSM model HAS no caches -- a crash must
+    // leave the RMR trajectory bit-identical to a crash-free history of
+    // the same ops. Before the early-return, evict_all walked directories
+    // that were never populated; harmless then, but any future
+    // directory-coupled state would have made crashes change DSM counts.
+    const auto trajectory = [](bool crash_between) {
+        Memory mem(Protocol::Dsm);
+        const VarId v = mem.allocate("v", 0, /*owner=*/0);
+        const VarId w = mem.allocate("w");
+        std::vector<bool> rmrs;
+        const auto ops = {Op::read(v), Op::write(w, 1), Op::cas(v, 0, 1),
+                          Op::fetch_add(w, 2), Op::read(w)};
+        for (const auto& op : ops) {
+            rmrs.push_back(mem.apply(0, op).rmr);
+            if (crash_between) {
+                mem.evict_all(0);  // Crash-restart hook, every step.
+            }
+        }
+        rmrs.push_back(mem.total_rmrs() == mem.rmrs_by(0));
+        return rmrs;
+    };
+    EXPECT_EQ(trajectory(false), trajectory(true));
+}
+
+TEST(WriteBack, EvictAllStillEvictsUnderCoherence) {
+    // The control for the DSM early-return: under write-back the same call
+    // must keep costing the victim its copies.
+    Memory mem(Protocol::WriteBack);
+    const VarId v = mem.allocate("v");
+    mem.apply(0, Op::read(v));
+    EXPECT_FALSE(mem.apply(0, Op::read(v)).rmr);  // Cached.
+    mem.evict_all(0);
+    EXPECT_TRUE(mem.apply(0, Op::read(v)).rmr);  // Copy gone: miss again.
+}
+
 }  // namespace
 }  // namespace rwr
