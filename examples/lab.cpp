@@ -229,12 +229,20 @@ int cmd_explore(const std::map<std::string, std::string>& f) {
     cfg.f = static_cast<std::uint32_t>(flag_u64(f, "f", 1));
     cfg.passages = flag_u64(f, "passages", 1);
     const int depth = static_cast<int>(flag_u64(f, "depth", 10));
-    const auto res =
-        sim::explore_dfs(scenario_factory(cfg), depth, 100'000);
-    std::printf("schedules=%llu violations=%llu incomplete=%llu\n",
+    sim::ExploreOptions opt;
+    opt.branch_depth = depth;
+    opt.finish_budget = 100'000;
+    // Default off: plain `lab explore` keeps the historical full-tree
+    // schedule counts; --reduce 1 switches on partial-order reduction.
+    opt.reduce = flag_u64(f, "reduce", 0) != 0;
+    opt.jobs = static_cast<unsigned>(flag_u64(f, "jobs", 1));
+    const auto res = sim::explore(scenario_factory(cfg), opt);
+    std::printf("schedules=%llu violations=%llu incomplete=%llu "
+                "truncated=%llu\n",
                 static_cast<unsigned long long>(res.schedules_explored),
                 static_cast<unsigned long long>(res.violations),
-                static_cast<unsigned long long>(res.incomplete_runs));
+                static_cast<unsigned long long>(res.incomplete_runs),
+                static_cast<unsigned long long>(res.truncated_runs));
     if (!res.first_violation.empty()) {
         std::printf("first violation: %s\n", res.first_violation.c_str());
     }
@@ -321,7 +329,8 @@ void usage() {
         "--f --passages --cs-steps --seed)\n"
         "  adversary  run the Theorem 5 construction (--lock --protocol "
         "--n --f)\n"
-        "  explore    exhaustive schedule search (--lock --n --m --f "
+        "  explore    exhaustive schedule search (--reduce 1 for "
+        "partial-order reduction, --jobs N) (--lock --n --m --f "
         "--depth)\n"
         "  faults     crash/stall injection + livelock watchdog (--crash PID "
         "--section entry|critical|exit --step K [--stall-steps S] "

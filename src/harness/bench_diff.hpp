@@ -4,7 +4,8 @@
 // diff() joins two rwr-bench-v1 documents on (bench, lock, protocol, n, m,
 // f, threads, workload) and reports three things:
 //   * regressions -- metric moved beyond tolerance in the bad direction
-//     (throughput_ops / sim_rmr means / sim_perf.steps_per_sec, see
+//     (throughput_ops / sim_rmr means / sim_perf.steps_per_sec /
+//     explore.schedules_explored and .schedules_per_sec, see
 //     bench_json.hpp for which direction is bad for each);
 //   * missing    -- rows present in the baseline but absent from the new
 //     run. A vanished row means the new binary silently stopped covering a
@@ -135,6 +136,36 @@ inline DiffReport diff(const json::Value& oldd, const json::Value& newd,
                                         /*drop_is_bad=*/false, opts.max_drop,
                                         &rep.regressions);
                 }
+            }
+        }
+        const json::Value* old_e = old_row->find("explore");
+        const json::Value* new_e = new_row->find("explore");
+        if (old_e != nullptr && new_e != nullptr) {
+            // The schedule count is deterministic for a given engine, so an
+            // increase means the reduction got weaker (or the full tree
+            // grew) -- gate it like an RMR mean. Throughput is wall-clock,
+            // gated with the wide perf tolerance over the same wall floor
+            // as sim_perf.
+            const json::Value* oc = old_e->find("schedules_explored");
+            const json::Value* nc = new_e->find("schedules_explored");
+            if (oc != nullptr && nc != nullptr) {
+                detail::diff_metric(key, "explore.schedules_explored",
+                                    oc->as_double(), nc->as_double(),
+                                    /*drop_is_bad=*/false, opts.max_drop,
+                                    &rep.regressions);
+            }
+            const json::Value* ov = old_e->find("schedules_per_sec");
+            const json::Value* nv = new_e->find("schedules_per_sec");
+            const json::Value* ow = old_e->find("wall_ms");
+            const json::Value* nw = new_e->find("wall_ms");
+            const bool measurable = ow != nullptr && nw != nullptr &&
+                                    ow->as_double() >= opts.min_perf_ms &&
+                                    nw->as_double() >= opts.min_perf_ms;
+            if (ov != nullptr && nv != nullptr && measurable) {
+                detail::diff_metric(key, "explore.schedules_per_sec",
+                                    ov->as_double(), nv->as_double(),
+                                    /*drop_is_bad=*/true, opts.max_perf_drop,
+                                    &rep.regressions);
             }
         }
         const json::Value* old_p = old_row->find("sim_perf");

@@ -12,12 +12,15 @@
 //                    "sim_rmr"?      { reader_mean_passage, reader_max_passage,
 //                                      writer_mean_passage, writer_max_passage },
 //                    "sim_perf"?     { steps, wall_ms, steps_per_sec },
+//                    "explore"?      { schedules_explored, violations,
+//                                      truncated_runs, reduction_factor,
+//                                      schedules_per_sec, wall_ms },
 //                    "proc_rmr"?     { reader_total_mean, reader_total_max,
 //                                      writer_total_mean, writer_total_max } } ]
 //   }
 //
-// A row must carry at least one payload group (throughput_ops, sim_rmr or
-// sim_perf); validate() enforces exactly this and is shared by the writers
+// A row must carry at least one payload group (throughput_ops, sim_rmr,
+// sim_perf or explore); validate() enforces exactly this and is shared by the writers
 // (so a binary can never emit an invalid file) and by `bench_compare
 // --check`. sim_rmr counts are exact (any diff is a protocol change);
 // sim_perf.steps is exact too, but wall_ms / steps_per_sec are wall-clock
@@ -166,9 +169,13 @@ inline void validate(const json::Value& doc) {
         const auto* tput = row.find("throughput_ops");
         const auto* rmr = row.find("sim_rmr");
         const auto* perf = row.find("sim_perf");
-        if (tput == nullptr && rmr == nullptr && perf == nullptr) {
+        const auto* expl = row.find("explore");
+        if (tput == nullptr && rmr == nullptr && perf == nullptr &&
+            expl == nullptr) {
             throw std::runtime_error(
-                at + "carries none of throughput_ops / sim_rmr / sim_perf");
+                at +
+                "carries none of throughput_ops / sim_rmr / sim_perf / "
+                "explore");
         }
         if (tput != nullptr && !tput->is_number()) {
             throw std::runtime_error(at + "throughput_ops not numeric");
@@ -194,6 +201,24 @@ inline void validate(const json::Value& doc) {
                 const auto* v = perf->find(key);
                 if (v == nullptr || !v->is_number()) {
                     throw std::runtime_error(at + "sim_perf lacks \"" + key +
+                                             "\"");
+                }
+            }
+        }
+        if (expl != nullptr) {
+            if (expl->type() != json::Value::Type::Object) {
+                throw std::runtime_error(at + "explore not an object");
+            }
+            // schedules_explored / violations / truncated_runs are
+            // sim-exact (deterministic for a given engine); wall_ms and
+            // schedules_per_sec are wall-clock. reduction_factor relates
+            // the row to its full-enumeration sibling.
+            for (const char* key :
+                 {"schedules_explored", "violations", "truncated_runs",
+                  "reduction_factor", "schedules_per_sec", "wall_ms"}) {
+                const auto* v = expl->find(key);
+                if (v == nullptr || !v->is_number()) {
+                    throw std::runtime_error(at + "explore lacks \"" + key +
                                              "\"");
                 }
             }

@@ -1,81 +1,6 @@
 #include "harness/parallel.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <cstring>
-#include <mutex>
-#include <string>
-#include <thread>
-
 namespace rwr::harness {
-
-unsigned default_jobs() {
-    const unsigned hw = std::thread::hardware_concurrency();
-    return hw == 0 ? 1 : hw;
-}
-
-unsigned parse_jobs(int argc, char** argv) {
-    for (int i = 1; i + 1 < argc; ++i) {
-        if (std::strcmp(argv[i], "--jobs") == 0) {
-            const int n = std::stoi(argv[i + 1]);
-            if (n > 0) {
-                return static_cast<unsigned>(n);
-            }
-            return default_jobs();
-        }
-    }
-    return default_jobs();
-}
-
-void parallel_for(std::size_t count, unsigned jobs,
-                  const std::function<void(std::size_t)>& fn) {
-    if (count == 0) {
-        return;
-    }
-    const unsigned workers = static_cast<unsigned>(std::min<std::size_t>(
-        std::max(1u, jobs == 0 ? default_jobs() : jobs), count));
-    if (workers == 1) {
-        for (std::size_t i = 0; i < count; ++i) {
-            fn(i);
-        }
-        return;
-    }
-
-    std::atomic<std::size_t> next{0};
-    std::mutex error_mutex;
-    std::exception_ptr first_error;
-
-    auto worker = [&]() {
-        for (;;) {
-            const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-            if (i >= count) {
-                return;
-            }
-            try {
-                fn(i);
-            } catch (...) {
-                const std::lock_guard<std::mutex> lock(error_mutex);
-                if (!first_error) {
-                    first_error = std::current_exception();
-                }
-                // Stop handing out further cells; in-flight cells finish.
-                next.store(count, std::memory_order_relaxed);
-            }
-        }
-    };
-
-    std::vector<std::thread> pool;
-    pool.reserve(workers);
-    for (unsigned t = 0; t < workers; ++t) {
-        pool.emplace_back(worker);
-    }
-    for (auto& t : pool) {
-        t.join();
-    }
-    if (first_error) {
-        std::rethrow_exception(first_error);
-    }
-}
 
 std::vector<ExperimentResult> run_experiments(
     const std::vector<ExperimentConfig>& cfgs, unsigned jobs) {

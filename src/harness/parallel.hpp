@@ -8,6 +8,9 @@
 // randomness comes from the per-cell seed -- so per-cell results are
 // bit-identical for any --jobs value (test_parallel.cpp proves it for
 // jobs=1 vs jobs=8, including recorded schedules).
+//
+// The pool itself (default_jobs / parse_jobs / parallel_for) is inline in
+// harness/pool.hpp so the sim explorer can share it without a harness link.
 #pragma once
 
 #include <cstddef>
@@ -15,20 +18,9 @@
 #include <vector>
 
 #include "harness/experiment.hpp"
+#include "harness/pool.hpp"
 
 namespace rwr::harness {
-
-/// Worker count meaning "use every hardware thread".
-[[nodiscard]] unsigned default_jobs();
-
-/// Extracts `--jobs N` from the command line (0 or absent -> default_jobs()).
-[[nodiscard]] unsigned parse_jobs(int argc, char** argv);
-
-/// Runs fn(i) for every i in [0, count) on (up to) `jobs` worker threads.
-/// Blocks until all cells ran. The first exception thrown by any cell stops
-/// the dispatch of further cells and is rethrown here after the pool joins.
-void parallel_for(std::size_t count, unsigned jobs,
-                  const std::function<void(std::size_t)>& fn);
 
 /// Runs one experiment per config on the pool; results come back in config
 /// order regardless of completion order or thread count.

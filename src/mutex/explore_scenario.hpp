@@ -1,0 +1,76 @@
+// Explorer-ready scenarios for the writer-mutex tier.
+//
+// The generic exploration checkers key on Process section markers, which
+// the SimMutex interface (enter/exit) does not maintain itself -- the RW
+// drive_passages helper does that for SimRWLock. This header provides the
+// mutex equivalent: a section-marking passage driver plus a ScenarioFactory
+// so any SimMutex can go through sim::explore()/explore_dfs with mutual
+// exclusion checked on every step. Every participant is modelled as a
+// writer, making the ME predicate "at most one process in the CS".
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+
+#include "mutex/sim_mutex.hpp"
+#include "sim/checker.hpp"
+#include "sim/explorer.hpp"
+#include "sim/system.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::mutex {
+
+/// Drives `passages` lock/unlock cycles with section markers, so the
+/// MutualExclusionChecker sees Critical occupancy exactly as it does for
+/// the RW locks.
+inline sim::SimTask<void> explore_mutex_passages(SimMutex& mx,
+                                                 sim::Process& p,
+                                                 std::uint32_t slot,
+                                                 std::uint64_t passages,
+                                                 std::uint64_t cs_steps) {
+    for (std::uint64_t k = 0; k < passages; ++k) {
+        p.set_section(Section::Entry);
+        co_await mx.enter(p, slot);
+        p.set_section(Section::Critical);
+        for (std::uint64_t s = 0; s < cs_steps; ++s) {
+            co_await p.local_step();
+        }
+        p.set_section(Section::Exit);
+        co_await mx.exit(p, slot);
+        p.set_section(Section::Remainder);
+        p.note_passage_complete();
+    }
+}
+
+/// Builds the mutex from fresh memory on every call -- the factory
+/// contract of the replay explorer. The SimMutex (not a SimRWLock) rides
+/// in Scenario::extra.
+using MutexBuilder =
+    std::function<std::unique_ptr<SimMutex>(Memory&, std::uint32_t m)>;
+
+[[nodiscard]] inline sim::ScenarioFactory mutex_scenario_factory(
+    MutexBuilder builder, std::uint32_t m, std::uint64_t passages,
+    std::uint64_t cs_steps) {
+    return [builder = std::move(builder), m, passages, cs_steps]() {
+        struct Extra {
+            std::unique_ptr<SimMutex> mx;
+        };
+        auto extra = std::make_shared<Extra>();
+        sim::Scenario sc;
+        sc.sys = std::make_unique<sim::System>(Protocol::WriteThrough);
+        extra->mx = builder(sc.sys->memory(), m);
+        for (std::uint32_t s = 0; s < m; ++s) {
+            sim::Process& p = sc.sys->add_process(sim::Role::Writer);
+            p.set_task(explore_mutex_passages(*extra->mx, p, s, passages,
+                                              cs_steps));
+        }
+        sc.checker = std::make_unique<sim::MutualExclusionChecker>(
+            /*throw_on_violation=*/true);
+        sc.sys->add_observer(sc.checker.get());
+        sc.extra = std::move(extra);
+        return sc;
+    };
+}
+
+}  // namespace rwr::mutex

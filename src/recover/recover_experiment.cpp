@@ -233,6 +233,16 @@ sim::ScenarioFactory recover_scenario_factory(
         sc.sys = std::move(b->sys);
         sc.checker = std::move(b->me_checker);
         sc.extra = std::shared_ptr<void>(std::move(b));
+        // Crash / crash-restart faults fire on victim-local per-section
+        // step counts, which commute with independent steps, so reduction
+        // stays sound. Stall faults resume on a *global* step-count
+        // deadline: reordering independent steps moves the deadline
+        // relative to the victim, so the explorer must not prune.
+        for (const sim::FaultSpec& f : cfg.faults.faults) {
+            if (f.kind == sim::FaultKind::Stall) {
+                sc.reduction_safe = false;
+            }
+        }
         return sc;
     };
 }

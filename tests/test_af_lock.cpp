@@ -120,6 +120,7 @@ TEST(AfLock, ExhaustiveSmallSchedules_N2M1F1) {
         sim::explore_dfs(harness::scenario_factory(cfg), 12, 100'000);
     EXPECT_EQ(res.violations, 0u) << res.first_violation;
     EXPECT_EQ(res.incomplete_runs, 0u);
+    EXPECT_EQ(res.truncated_runs, 0u);
     EXPECT_GT(res.schedules_explored, 500u);
 }
 
@@ -135,6 +136,7 @@ TEST(AfLock, ExhaustiveSmallSchedules_N2M1F2) {
         sim::explore_dfs(harness::scenario_factory(cfg), 12, 100'000);
     EXPECT_EQ(res.violations, 0u) << res.first_violation;
     EXPECT_EQ(res.incomplete_runs, 0u);
+    EXPECT_EQ(res.truncated_runs, 0u);
 }
 
 TEST(AfLock, ExhaustiveSmallSchedules_N1M2) {
@@ -149,6 +151,7 @@ TEST(AfLock, ExhaustiveSmallSchedules_N1M2) {
         sim::explore_dfs(harness::scenario_factory(cfg), 12, 100'000);
     EXPECT_EQ(res.violations, 0u) << res.first_violation;
     EXPECT_EQ(res.incomplete_runs, 0u);
+    EXPECT_EQ(res.truncated_runs, 0u);
 }
 
 TEST(AfLock, RandomizedDeepSchedules) {
@@ -163,6 +166,7 @@ TEST(AfLock, RandomizedDeepSchedules) {
                                          300, /*seed=*/42, 2'000'000);
     EXPECT_EQ(res.violations, 0u) << res.first_violation;
     EXPECT_EQ(res.incomplete_runs, 0u);
+    EXPECT_EQ(res.truncated_runs, 0u);
 }
 
 TEST(AfLock, ReadersShareTheCriticalSection) {

@@ -94,6 +94,7 @@ void explore_all_single_crash_placements(RecoverLockKind kind,
                 EXPECT_EQ(res.violations, 0u)
                     << at << ": " << res.first_violation;
                 EXPECT_EQ(res.incomplete_runs, 0u) << at;
+                EXPECT_EQ(res.truncated_runs, 0u) << at;
                 ++placements_explored;
             }
             // The stopping witness: the step index really walked off the end
@@ -177,6 +178,7 @@ void explore_all_double_crash_placements(RecoverLockKind kind,
                     EXPECT_EQ(res.violations, 0u)
                         << at << ": " << res.first_violation;
                     EXPECT_EQ(res.incomplete_runs, 0u) << at;
+                    EXPECT_EQ(res.truncated_runs, 0u) << at;
                     ++placements_explored;
                 }
                 // Inner stopping witness: every recovery takes at least one
@@ -223,6 +225,7 @@ TEST(RecoverExplore, CrashFreeBaselineExploresClean) {
         EXPECT_EQ(res.violations, 0u)
             << to_string(kind) << ": " << res.first_violation;
         EXPECT_EQ(res.incomplete_runs, 0u) << to_string(kind);
+        EXPECT_EQ(res.truncated_runs, 0u) << to_string(kind);
     }
 }
 
