@@ -1,0 +1,37 @@
+// Deterministic load generator for the native table: each session replays
+// its OpStream (the same splitmix64 stream the sim backend prices), timing
+// every acquire into the session's log2 histogram. Sessions are dispatched
+// over harness/pool.hpp workers -- a session runs its whole op stream
+// inside one worker slot, so at most `jobs` sessions execute at any moment
+// while the session *count* scales to thousands (the >=1k-session /
+// >=1M-op loopback requirement). That never deadlocks: a lock holder is by
+// definition a running session, so every waiter's wake-up is always
+// scheduled.
+#pragma once
+
+#include <cstdint>
+
+#include "dist/native_table.hpp"
+
+namespace rwr::dist {
+
+struct LoadConfig {
+    std::uint32_t ops_per_session = 1024;
+    std::uint32_t reader_pct = 90;
+    std::uint64_t seed = 1;
+    unsigned jobs = 0;  ///< 0 = harness::default_jobs().
+};
+
+struct LoadResult {
+    SessionStats merged;  ///< All sessions' counters + latency histogram.
+    double wall_ms = 0;
+    double ops_per_sec = 0;
+    std::uint64_t witness_violations = 0;  ///< Table-level violation count.
+};
+
+/// Runs the full load against an attached table. Deterministic in the op
+/// *mix* (which session does what to which lock) for any jobs value; the
+/// interleaving and timings are real concurrency.
+LoadResult run_load(NativeTable& table, const LoadConfig& cfg);
+
+}  // namespace rwr::dist

@@ -1,0 +1,335 @@
+#include "dist/loopback.hpp"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+
+namespace rwr::dist {
+
+namespace {
+
+[[noreturn]] void die(const std::string& what) {
+    throw std::runtime_error(what + ": " + std::strerror(errno));
+}
+
+void write_all(int fd, const void* buf, std::size_t len) {
+    const char* p = static_cast<const char*>(buf);
+    while (len > 0) {
+        const ssize_t n = ::write(fd, p, len);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            die("write");
+        }
+        p += n;
+        len -= static_cast<std::size_t>(n);
+    }
+}
+
+/// Returns false on clean EOF at a message boundary.
+bool read_all(int fd, void* buf, std::size_t len) {
+    char* p = static_cast<char*>(buf);
+    std::size_t got = 0;
+    while (got < len) {
+        const ssize_t n = ::read(fd, p + got, len - got);
+        if (n < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            die("read");
+        }
+        if (n == 0) {
+            if (got == 0) {
+                return false;
+            }
+            throw std::runtime_error("short control message");
+        }
+        got += static_cast<std::size_t>(n);
+    }
+    return true;
+}
+
+}  // namespace
+
+// ---- ShmSegment -----------------------------------------------------------
+
+ShmSegment& ShmSegment::operator=(ShmSegment&& o) noexcept {
+    if (this != &o) {
+        reset();
+        name_ = std::move(o.name_);
+        words_ = o.words_;
+        size_words_ = o.size_words_;
+        owner_ = o.owner_;
+        o.words_ = nullptr;
+        o.size_words_ = 0;
+        o.owner_ = false;
+        o.name_.clear();
+    }
+    return *this;
+}
+
+void ShmSegment::reset() {
+    if (words_ != nullptr) {
+        ::munmap(words_, size_words_ * sizeof(Word));
+        words_ = nullptr;
+    }
+    if (owner_ && !name_.empty()) {
+        ::shm_unlink(name_.c_str());
+    }
+    owner_ = false;
+    size_words_ = 0;
+    name_.clear();
+}
+
+ShmSegment ShmSegment::create(const std::string& name, std::uint64_t words) {
+    return map_segment(name, words, true);
+}
+
+ShmSegment ShmSegment::attach(const std::string& name, std::uint64_t words) {
+    return map_segment(name, words, false);
+}
+
+ShmSegment ShmSegment::map_segment(const std::string& name,
+                                   std::uint64_t words, bool create) {
+    const int flags = create ? O_RDWR | O_CREAT | O_EXCL : O_RDWR;
+    const int fd = ::shm_open(name.c_str(), flags, 0600);
+    if (fd < 0) {
+        die("shm_open(" + name + ")");
+    }
+    const std::size_t bytes = words * sizeof(Word);
+    if (create && ::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+        ::close(fd);
+        ::shm_unlink(name.c_str());
+        die("ftruncate(" + name + ")");
+    }
+    void* mem =
+        ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+    ::close(fd);
+    if (mem == MAP_FAILED) {
+        if (create) {
+            ::shm_unlink(name.c_str());
+        }
+        die("mmap(" + name + ")");
+    }
+    // Reinterpreting the zero-filled mapping as atomics is valid: the
+    // std::atomic<Word> representation is the plain 8-byte word (checked),
+    // and ftruncate guarantees zero initial contents.
+    static_assert(sizeof(std::atomic<Word>) == sizeof(Word) &&
+                      std::atomic<Word>::is_always_lock_free,
+                  "shared segment needs plain lock-free 64-bit atomics");
+    ShmSegment seg;
+    seg.name_ = name;
+    seg.words_ = static_cast<std::atomic<Word>*>(mem);
+    seg.size_words_ = words;
+    seg.owner_ = create;
+    return seg;
+}
+
+// ---- LockServiceDaemon ----------------------------------------------------
+
+LockServiceDaemon::LockServiceDaemon(const TableConfig& cfg,
+                                     std::uint16_t port)
+    : lay_(cfg), port_(port) {}
+
+LockServiceDaemon::~LockServiceDaemon() { stop(); }
+
+void LockServiceDaemon::start() {
+    const std::string name =
+        "/rwr_dist." + std::to_string(::getpid()) + "." +
+        std::to_string(reinterpret_cast<std::uintptr_t>(this) & 0xFFFF);
+    shm_ = ShmSegment::create(name, lay_.total_words());
+
+    const int lfd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (lfd < 0) {
+        die("socket");
+    }
+    const int one = 1;
+    ::setsockopt(lfd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(port_);
+    if (::bind(lfd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+        die("bind");
+    }
+    socklen_t alen = sizeof(addr);
+    if (::getsockname(lfd, reinterpret_cast<sockaddr*>(&addr), &alen) != 0) {
+        die("getsockname");
+    }
+    port_ = ntohs(addr.sin_port);
+    if (::listen(lfd, 64) != 0) {
+        die("listen");
+    }
+    listen_fd_.store(lfd);
+    stopping_.store(false);
+    running_.store(true);
+    server_ = std::thread([this] { serve_loop(); });
+}
+
+void LockServiceDaemon::stop() {
+    if (!running_.load() && !server_.joinable()) {
+        return;
+    }
+    stopping_.store(true);
+    const int lfd = listen_fd_.load();
+    if (lfd >= 0) {
+        // Shutdown unblocks the accept(); close only after the join so the
+        // fd number cannot be recycled under serve_loop's feet.
+        ::shutdown(lfd, SHUT_RDWR);
+    }
+    if (server_.joinable()) {
+        server_.join();
+    }
+    if (lfd >= 0) {
+        ::close(lfd);
+        listen_fd_.store(-1);
+    }
+    running_.store(false);
+    shm_.reset();
+}
+
+void LockServiceDaemon::serve_loop() {
+    while (!stopping_.load()) {
+        const int fd = ::accept(listen_fd_.load(), nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EINTR) {
+                continue;
+            }
+            break;  // Listener closed by stop().
+        }
+        try {
+            handle_connection(fd);
+        } catch (const std::exception&) {
+            // A malformed or dropped connection must not kill the daemon.
+        }
+        ::close(fd);
+    }
+    running_.store(false);
+}
+
+void LockServiceDaemon::handle_connection(int fd) {
+    CtrlRequest req;
+    while (read_all(fd, &req, sizeof(req))) {
+        CtrlReply rep;
+        if (req.magic != kCtrlMagic || req.version != kCtrlVersion) {
+            rep.ok = 0;
+            write_all(fd, &rep, sizeof(rep));
+            return;
+        }
+        switch (static_cast<CtrlOp>(req.op)) {
+            case CtrlOp::Hello: {
+                const TableConfig& cfg = lay_.config();
+                rep.ok = 1;
+                rep.shards = cfg.shards;
+                rep.locks_per_shard = cfg.locks_per_shard;
+                rep.sessions = cfg.sessions;
+                rep.homed = cfg.homed ? 1 : 0;
+                rep.total_words = lay_.total_words();
+                std::strncpy(rep.shm_name, shm_.name().c_str(),
+                             kShmNameMax - 1);
+                break;
+            }
+            case CtrlOp::Stats:
+                rep = stats();
+                rep.ok = 1;
+                break;
+            case CtrlOp::Shutdown:
+                rep.ok = 1;
+                write_all(fd, &rep, sizeof(rep));
+                stopping_.store(true);
+                // Unblock our own accept() so serve_loop exits promptly.
+                ::shutdown(listen_fd_.load(), SHUT_RDWR);
+                return;
+            default:
+                rep.ok = 0;
+                break;
+        }
+        write_all(fd, &rep, sizeof(rep));
+    }
+}
+
+CtrlReply LockServiceDaemon::stats() const {
+    CtrlReply rep;
+    const TableConfig& cfg = lay_.config();
+    std::atomic<Word>* w = shm_.data();
+    for (std::uint32_t lock = 0; lock < cfg.num_locks(); ++lock) {
+        rep.tickets_issued +=
+            w[lay_.flat_index(lay_.lock_word(lock, LockField::WTicket))]
+                .load();
+        rep.witness_nonzero +=
+            w[lay_.flat_index(lay_.lock_word(lock, LockField::WWitness))]
+                        .load() != 0
+                ? 1
+                : 0;
+        rep.readers_active +=
+            w[lay_.flat_index(lay_.lock_word(lock, LockField::RCount))]
+                .load();
+    }
+    return rep;
+}
+
+// ---- DistClient -----------------------------------------------------------
+
+void DistClient::connect(const std::string& host, std::uint16_t port) {
+    close();
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+        die("socket");
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+        throw std::runtime_error("bad host: " + host);
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+        die("connect");
+    }
+    const CtrlReply hello = roundtrip(CtrlOp::Hello);
+    if (hello.ok != 1) {
+        throw std::runtime_error("HELLO rejected");
+    }
+    cfg_.shards = hello.shards;
+    cfg_.locks_per_shard = hello.locks_per_shard;
+    cfg_.sessions = hello.sessions;
+    cfg_.homed = hello.homed != 0;
+    shm_ = ShmSegment::attach(hello.shm_name, hello.total_words);
+}
+
+void DistClient::close() {
+    if (fd_ >= 0) {
+        ::close(fd_);
+        fd_ = -1;
+    }
+    shm_.reset();
+}
+
+CtrlReply DistClient::roundtrip(CtrlOp op) {
+    CtrlRequest req;
+    req.op = static_cast<std::uint32_t>(op);
+    write_all(fd_, &req, sizeof(req));
+    CtrlReply rep;
+    if (!read_all(fd_, &rep, sizeof(rep)) || rep.magic != kCtrlMagic) {
+        throw std::runtime_error("control channel closed");
+    }
+    return rep;
+}
+
+CtrlReply DistClient::stats() { return roundtrip(CtrlOp::Stats); }
+
+void DistClient::shutdown_server() { (void)roundtrip(CtrlOp::Shutdown); }
+
+}  // namespace rwr::dist

@@ -1,0 +1,173 @@
+// Native backend of the sharded lock table: the same layout.hpp word
+// protocol as the sim backend (sim_table.hpp documents it), executed as
+// real seq_cst std::atomic operations on a mapped word array -- the shared
+// memory segment lock_serviced serves. Clients run the data path entirely
+// with one-sided verbs on the mapping (the daemon's CPU is not involved in
+// acquire/release, only in setup), which is the point of the RDMA analogy.
+//
+// Network-RMR accounting is the verb layer's segment rule applied in
+// software: a verb on any segment other than the session's own client
+// segment increments the session's network_rmrs counter. Homed waiting
+// parks on a per-session native::ParkingSpot (client-local memory, NOT in
+// the shared segment) after the releaser bumps the session's shm gate
+// word -- state update precedes wake_all(), the park.hpp contract.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <vector>
+
+#include "dist/layout.hpp"
+#include "dist/verbs.hpp"
+#include "native/park.hpp"
+#include "native/spin.hpp"
+
+namespace rwr::dist {
+
+/// Log2-bucketed acquire-latency histogram plus op/RMR counters for one
+/// session (merged across sessions for the bench rows).
+inline constexpr unsigned kLatBuckets = 64;
+
+struct SessionStats {
+    std::uint64_t read_ops = 0;
+    std::uint64_t write_ops = 0;
+    std::uint64_t network_rmrs = 0;
+    std::uint64_t violations = 0;
+    std::array<std::uint64_t, kLatBuckets> acquire_ns_log2{};
+
+    void record_acquire_ns(std::uint64_t ns) {
+        unsigned b = 0;
+        while ((std::uint64_t{1} << (b + 1)) <= ns && b + 1 < kLatBuckets) {
+            ++b;
+        }
+        ++acquire_ns_log2[b];
+    }
+    void merge(const SessionStats& o) {
+        read_ops += o.read_ops;
+        write_ops += o.write_ops;
+        network_rmrs += o.network_rmrs;
+        violations += o.violations;
+        for (unsigned b = 0; b < kLatBuckets; ++b) {
+            acquire_ns_log2[b] += o.acquire_ns_log2[b];
+        }
+    }
+    [[nodiscard]] std::uint64_t total_ops() const {
+        return read_ops + write_ops;
+    }
+    /// Quantile q in [0,1] of the acquire latency, in microseconds (bucket
+    /// upper bound: a factor-2 estimate, fine for p50/p99 bench rows).
+    [[nodiscard]] double percentile_us(double q) const {
+        std::uint64_t total = 0;
+        for (const auto c : acquire_ns_log2) {
+            total += c;
+        }
+        if (total == 0) {
+            return 0.0;
+        }
+        const auto want = static_cast<std::uint64_t>(
+            q * static_cast<double>(total - 1));
+        std::uint64_t seen = 0;
+        for (unsigned b = 0; b < kLatBuckets; ++b) {
+            seen += acquire_ns_log2[b];
+            if (seen > want) {
+                return static_cast<double>(std::uint64_t{1} << (b + 1)) /
+                       1000.0;
+            }
+        }
+        return 0.0;
+    }
+};
+
+class NativeTable {
+   public:
+    /// `words` is the mapped array of layout.total_words() words (flat
+    /// segment order); `spots` is the client-local wait registry, one spot
+    /// per session, alive for the table's lifetime.
+    NativeTable(std::atomic<Word>* words, const TableConfig& cfg,
+                native::ParkingSpot* spots)
+        : lay_(cfg), words_(words), spots_(spots) {}
+
+    [[nodiscard]] const TableLayout& layout() const { return lay_; }
+
+    /// Per-session handle; `id` indexes the spot registry and the session's
+    /// own client segment. Stats accumulate here.
+    struct Session {
+        std::uint32_t id = 0;
+        SessionStats stats;
+    };
+
+    /// Acquire returns the writer's ticket; release takes it back (the
+    /// caller threads it through, matching the sim table's held-ticket
+    /// scratch without shared client state).
+    std::uint64_t writer_acquire(Session& s, std::uint32_t lock);
+    void writer_release(Session& s, std::uint32_t lock, std::uint64_t ticket);
+    void reader_acquire(Session& s, std::uint32_t lock);
+    void reader_release(Session& s, std::uint32_t lock);
+
+    /// Sum of the per-shard witness words' violation counts observed by
+    /// this client (failed witness CAS / nonzero witness read).
+    [[nodiscard]] std::uint64_t witness_violations() const {
+        return violations_.load();
+    }
+
+   private:
+    [[nodiscard]] std::atomic<Word>& at(GlobalAddr a) const {
+        return words_[lay_.flat_index(a)];
+    }
+    [[nodiscard]] std::uint32_t own_seg(const Session& s) const {
+        return lay_.config().shards + s.id;
+    }
+    void count(Session& s, GlobalAddr a) {
+        if (a.seg != own_seg(s)) {
+            ++s.stats.network_rmrs;
+        }
+    }
+    // One-sided verbs with the segment accounting rule applied inline.
+    Word vread(Session& s, GlobalAddr a) {
+        count(s, a);
+        return at(a).load();
+    }
+    void vwrite(Session& s, GlobalAddr a, Word v) {
+        count(s, a);
+        at(a).store(v);
+    }
+    /// Returns the word's previous value (CAS succeeded iff == expected).
+    Word vcas(Session& s, GlobalAddr a, Word expected, Word desired) {
+        count(s, a);
+        Word e = expected;
+        at(a).compare_exchange_strong(e, desired);
+        return e;
+    }
+    Word vfaa(Session& s, GlobalAddr a, Word delta) {
+        count(s, a);
+        return at(a).fetch_add(delta);
+    }
+
+    void note_violation(Session& s) {
+        ++s.stats.violations;
+        violations_.fetch_add(1);
+    }
+    /// Homed terminal wait: park on the session's spot until its gate word
+    /// moves past `epoch` (gate reads are local: no RMR counting).
+    void wait_gate(const Session& s, Word epoch) {
+        std::atomic<Word>& gw = at(lay_.gate_word(s.id));
+        native::Deadline dl = native::Deadline::infinite();
+        native::Backoff bo;
+        native::wait_until(spots_[s.id], dl, nullptr, bo,
+                           [&] { return gw.load() != epoch; });
+    }
+    /// Wake `session` after bumping its gate word.
+    void bump_gate(Session& s, std::uint32_t session) {
+        vfaa(s, lay_.gate_word(session), 1);
+        spots_[session].wake_all(nullptr);
+    }
+
+    TableLayout lay_;
+    std::atomic<Word>* words_;
+    native::ParkingSpot* spots_;
+    std::atomic<std::uint64_t> violations_{0};
+};
+
+}  // namespace rwr::dist

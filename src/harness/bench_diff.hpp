@@ -5,7 +5,8 @@
 // f, threads, workload) and reports three things:
 //   * regressions -- metric moved beyond tolerance in the bad direction
 //     (throughput_ops / sim_rmr means / sim_perf.steps_per_sec /
-//     explore.schedules_explored and .schedules_per_sec, see
+//     explore.schedules_explored and .schedules_per_sec /
+//     dist.network_rmrs_per_op and .ops_per_sec, see
 //     bench_json.hpp for which direction is bad for each);
 //   * missing    -- rows present in the baseline but absent from the new
 //     run. A vanished row means the new binary silently stopped covering a
@@ -164,6 +165,36 @@ inline DiffReport diff(const json::Value& oldd, const json::Value& newd,
             if (ov != nullptr && nv != nullptr && measurable) {
                 detail::diff_metric(key, "explore.schedules_per_sec",
                                     ov->as_double(), nv->as_double(),
+                                    /*drop_is_bad=*/true, opts.max_perf_drop,
+                                    &rep.regressions);
+            }
+        }
+        const json::Value* old_d = old_row->find("dist");
+        const json::Value* new_d = new_row->find("dist");
+        if (old_d != nullptr && new_d != nullptr) {
+            // network_rmrs_per_op is exact on the sim backend (the grid is
+            // deterministic), so an increase is a protocol change -- tight
+            // gate, increase is bad. ops_per_sec only exists on native
+            // loopback rows and is wall-clock: wide gate over the dist
+            // wall_ms floor, mirroring sim_perf.
+            const json::Value* on = old_d->find("network_rmrs_per_op");
+            const json::Value* nn = new_d->find("network_rmrs_per_op");
+            if (on != nullptr && nn != nullptr) {
+                detail::diff_metric(key, "dist.network_rmrs_per_op",
+                                    on->as_double(), nn->as_double(),
+                                    /*drop_is_bad=*/false, opts.max_drop,
+                                    &rep.regressions);
+            }
+            const json::Value* ov = old_d->find("ops_per_sec");
+            const json::Value* nv = new_d->find("ops_per_sec");
+            const json::Value* ow = old_d->find("wall_ms");
+            const json::Value* nw = new_d->find("wall_ms");
+            const bool measurable = ow != nullptr && nw != nullptr &&
+                                    ow->as_double() >= opts.min_perf_ms &&
+                                    nw->as_double() >= opts.min_perf_ms;
+            if (ov != nullptr && nv != nullptr && measurable) {
+                detail::diff_metric(key, "dist.ops_per_sec", ov->as_double(),
+                                    nv->as_double(),
                                     /*drop_is_bad=*/true, opts.max_perf_drop,
                                     &rep.regressions);
             }

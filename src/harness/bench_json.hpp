@@ -16,11 +16,14 @@
 //                                      truncated_runs, reduction_factor,
 //                                      schedules_per_sec, wall_ms },
 //                    "proc_rmr"?     { reader_total_mean, reader_total_max,
-//                                      writer_total_mean, writer_total_max } } ]
+//                                      writer_total_mean, writer_total_max },
+//                    "dist"?         { ops, network_rmrs_per_op, sessions,
+//                                      shards, ops_per_sec?, p50_acquire_us?,
+//                                      p99_acquire_us?, wall_ms? } } ]
 //   }
 //
 // A row must carry at least one payload group (throughput_ops, sim_rmr,
-// sim_perf or explore); validate() enforces exactly this and is shared by the writers
+// sim_perf, explore or dist); validate() enforces exactly this and is shared by the writers
 // (so a binary can never emit an invalid file) and by `bench_compare
 // --check`. sim_rmr counts are exact (any diff is a protocol change);
 // sim_perf.steps is exact too, but wall_ms / steps_per_sec are wall-clock
@@ -170,12 +173,13 @@ inline void validate(const json::Value& doc) {
         const auto* rmr = row.find("sim_rmr");
         const auto* perf = row.find("sim_perf");
         const auto* expl = row.find("explore");
+        const auto* dist = row.find("dist");
         if (tput == nullptr && rmr == nullptr && perf == nullptr &&
-            expl == nullptr) {
+            expl == nullptr && dist == nullptr) {
             throw std::runtime_error(
                 at +
                 "carries none of throughput_ops / sim_rmr / sim_perf / "
-                "explore");
+                "explore / dist");
         }
         if (tput != nullptr && !tput->is_number()) {
             throw std::runtime_error(at + "throughput_ops not numeric");
@@ -220,6 +224,31 @@ inline void validate(const json::Value& doc) {
                 if (v == nullptr || !v->is_number()) {
                     throw std::runtime_error(at + "explore lacks \"" + key +
                                              "\"");
+                }
+            }
+        }
+        if (dist != nullptr) {
+            if (dist->type() != json::Value::Type::Object) {
+                throw std::runtime_error(at + "dist not an object");
+            }
+            // ops / network_rmrs_per_op / sessions / shards are exact on
+            // the sim backend (deterministic grid rows); the latency and
+            // throughput fields only appear on native loopback rows, where
+            // they are wall-clock.
+            for (const char* key :
+                 {"ops", "network_rmrs_per_op", "sessions", "shards"}) {
+                const auto* v = dist->find(key);
+                if (v == nullptr || !v->is_number()) {
+                    throw std::runtime_error(at + "dist lacks \"" + key +
+                                             "\"");
+                }
+            }
+            for (const char* key : {"ops_per_sec", "p50_acquire_us",
+                                    "p99_acquire_us", "wall_ms"}) {
+                const auto* v = dist->find(key);
+                if (v != nullptr && !v->is_number()) {
+                    throw std::runtime_error(at + "dist \"" + key +
+                                             "\" not numeric");
                 }
             }
         }

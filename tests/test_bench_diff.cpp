@@ -130,6 +130,62 @@ TEST(BenchDiff, PerfDropGatedByWallClockFloor) {
     EXPECT_EQ(rep.regressions[0].key, "t/af/write-back/n8/m1/f1/t9/w-");
 }
 
+json::Value make_dist_row(std::uint64_t sessions, double rmrs_per_op,
+                          double ops_per_sec, double wall_ms) {
+    auto row = json::Value::object();
+    row.set("lock", "e17-loopback-homed");
+    row.set("protocol", "loopback");
+    row.set("n", sessions);
+    row.set("m", std::uint64_t{8});
+    row.set("f", std::uint64_t{32});
+    row.set("threads", std::uint64_t{8});
+    row.set("workload", "r90");
+    auto d = json::Value::object();
+    d.set("ops", std::uint64_t{1000000});
+    d.set("network_rmrs_per_op", rmrs_per_op);
+    d.set("sessions", sessions);
+    d.set("shards", std::uint64_t{8});
+    d.set("ops_per_sec", ops_per_sec);
+    d.set("wall_ms", wall_ms);
+    row.set("dist", std::move(d));
+    return row;
+}
+
+TEST(BenchDiff, DistNetworkRmrIncreaseRegresses) {
+    // The RMR count is deterministic on the sim backend, so it gets the
+    // tight max_drop gate: a +15% bump must flag.
+    auto oldd = bench::make_doc("t");
+    auto newd = bench::make_doc("t");
+    results_of(oldd)->push_back(make_dist_row(1024, 16.0, 1e6, 500.0));
+    results_of(newd)->push_back(make_dist_row(1024, 18.4, 1e6, 500.0));
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    EXPECT_FALSE(rep.ok());
+    ASSERT_EQ(rep.regressions.size(), 1u);
+    EXPECT_EQ(rep.regressions[0].metric, "dist.network_rmrs_per_op");
+    // A decrease is an improvement.
+    auto better = bench::make_doc("t");
+    results_of(better)->push_back(make_dist_row(1024, 12.0, 1e6, 500.0));
+    EXPECT_TRUE(bench::diff(oldd, better, DiffOptions{}).ok());
+}
+
+TEST(BenchDiff, DistThroughputDropGatedByWallClockFloor) {
+    // ops_per_sec halves in both rows; only the cell whose wall time
+    // clears min_perf_ms in both runs may flag.
+    auto oldd = bench::make_doc("t");
+    auto newd = bench::make_doc("t");
+    auto* old_rows = results_of(oldd);
+    auto* new_rows = results_of(newd);
+    old_rows->push_back(make_dist_row(1024, 16.0, 2e6, 500.0));
+    new_rows->push_back(make_dist_row(1024, 16.0, 8e5, 500.0));
+    old_rows->push_back(make_dist_row(64, 16.0, 2e6, 0.5));
+    new_rows->push_back(make_dist_row(64, 16.0, 8e5, 0.5));
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    ASSERT_EQ(rep.regressions.size(), 1u);
+    EXPECT_EQ(rep.regressions[0].metric, "dist.ops_per_sec");
+    EXPECT_EQ(rep.regressions[0].key,
+              "t/e17-loopback-homed/loopback/n1024/m8/f32/t8/wr90");
+}
+
 TEST(BenchDiff, RowKeyUsesDashForAbsentFields) {
     auto row = json::Value::object();
     row.set("lock", "native");

@@ -1,0 +1,127 @@
+// Native loopback backend: daemon lifecycle, control-channel round-trips,
+// real cross-mapping shm visibility, and concurrent load on the native
+// table (TSan-sized cells -- this suite runs in the TSan CI job, so the
+// seq_cst atomics of NativeTable and the ParkingSpot handshakes get a race
+// detector pass).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "dist/load.hpp"
+#include "dist/loopback.hpp"
+#include "dist/native_table.hpp"
+
+namespace rwr::dist {
+namespace {
+
+TableConfig tiny_cfg(bool homed) {
+    TableConfig cfg;
+    cfg.shards = 2;
+    cfg.locks_per_shard = 2;
+    cfg.sessions = 16;
+    cfg.homed = homed;
+    return cfg;
+}
+
+TEST(DistLoopback, HelloAdvertisesGeometryAndSegment) {
+    LockServiceDaemon daemon(tiny_cfg(true));
+    daemon.start();
+    DistClient client;
+    client.connect("127.0.0.1", daemon.port());
+    EXPECT_EQ(client.config().shards, 2u);
+    EXPECT_EQ(client.config().locks_per_shard, 2u);
+    EXPECT_EQ(client.config().sessions, 16u);
+    EXPECT_TRUE(client.config().homed);
+    ASSERT_NE(client.words(), nullptr);
+    client.close();
+    daemon.stop();
+}
+
+TEST(DistLoopback, ClientAndDaemonShareTheWords) {
+    // A store through the client's mapping must be visible through the
+    // daemon's -- the property the smoke harness's STATS cross-check
+    // relies on.
+    LockServiceDaemon daemon(tiny_cfg(true));
+    daemon.start();
+    DistClient client;
+    client.connect("127.0.0.1", daemon.port());
+    const TableLayout& lay = daemon.layout();
+    const auto idx = lay.flat_index(lay.lock_word(3, LockField::WTicket));
+    client.words()[idx].store(77);
+    EXPECT_EQ(daemon.words()[idx].load(), 77u);
+    const CtrlReply st = client.stats();
+    EXPECT_EQ(st.ok, 1u);
+    EXPECT_EQ(st.tickets_issued, 77u);
+    client.words()[idx].store(0);
+    client.close();
+    daemon.stop();
+}
+
+TEST(DistLoopback, ShutdownStopsTheDaemon) {
+    LockServiceDaemon daemon(tiny_cfg(true));
+    daemon.start();
+    EXPECT_TRUE(daemon.running());
+    DistClient client;
+    client.connect("127.0.0.1", daemon.port());
+    client.shutdown_server();
+    client.close();
+    daemon.stop();  // Joins; must not hang after remote shutdown.
+    EXPECT_FALSE(daemon.running());
+}
+
+TEST(DistLoopback, SecondDaemonGetsItsOwnPortAndSegment) {
+    LockServiceDaemon a(tiny_cfg(true));
+    LockServiceDaemon b(tiny_cfg(true));
+    a.start();
+    b.start();
+    EXPECT_NE(a.port(), b.port());
+    EXPECT_NE(a.shm_name(), b.shm_name());
+    b.stop();
+    a.stop();
+}
+
+void run_concurrent_load(bool homed) {
+    LockServiceDaemon daemon(tiny_cfg(homed));
+    daemon.start();
+    DistClient client;
+    client.connect("127.0.0.1", daemon.port());
+    auto spots = std::make_unique<native::ParkingSpot[]>(
+        client.config().sessions);
+    NativeTable table(client.words(), client.config(), spots.get());
+    LoadConfig lc;
+    lc.ops_per_session = 64;
+    lc.reader_pct = 60;
+    lc.seed = 3;
+    lc.jobs = 4;
+    const LoadResult res = run_load(table, lc);
+    EXPECT_EQ(res.witness_violations, 0u);
+    EXPECT_EQ(res.merged.total_ops(), 16u * 64u);
+    // Quiesced: no held writers, no active readers, and the daemon's
+    // ticket odometer agrees with the client's writer-op count.
+    const CtrlReply st = client.stats();
+    EXPECT_EQ(st.tickets_issued, res.merged.write_ops);
+    EXPECT_EQ(st.witness_nonzero, 0u);
+    EXPECT_EQ(st.readers_active, 0u);
+    // Only homed sessions get free local gate spins; either way every
+    // shard verb was counted.
+    EXPECT_GT(res.merged.network_rmrs, 0u);
+    client.close();
+    daemon.stop();
+}
+
+TEST(DistLoopback, ConcurrentLoadHomed) { run_concurrent_load(true); }
+TEST(DistLoopback, ConcurrentLoadUnhomed) { run_concurrent_load(false); }
+
+TEST(DistLoopback, LatencyHistogramQuantilesAreOrdered) {
+    SessionStats st;
+    st.record_acquire_ns(100);
+    st.record_acquire_ns(1000);
+    st.record_acquire_ns(100000);
+    const double p50 = st.percentile_us(0.50);
+    const double p99 = st.percentile_us(0.99);
+    EXPECT_GT(p50, 0.0);
+    EXPECT_GE(p99, p50);
+}
+
+}  // namespace
+}  // namespace rwr::dist

@@ -124,6 +124,32 @@ TEST(BenchJsonTest, ValidatesGoodDocuments) {
     row.set("sim_rmr", std::move(rmr));
     sim.set("results", Value::array()).push_back(std::move(row));
     EXPECT_NO_THROW(bench::validate(sim));
+
+    // A dist row: the exact quartet alone is enough (sim backend)...
+    auto dist_doc = bench::make_doc("dist");
+    auto drow = Value::object();
+    drow.set("lock", "e17-dist-homed");
+    drow.set("protocol", "dsm-sim");
+    drow.set("n", 16);
+    drow.set("f", 1);
+    drow.set("threads", 1);
+    auto d = Value::object();
+    d.set("ops", std::uint64_t{96});
+    d.set("network_rmrs_per_op", 15.4);
+    d.set("sessions", 16);
+    d.set("shards", 1);
+    drow.set("dist", d);
+    auto& results = dist_doc.set("results", Value::array());
+    results.push_back(drow);
+    // ...and native loopback rows add the wall-clock fields.
+    d.set("ops_per_sec", 2.5e6);
+    d.set("p50_acquire_us", 1.2);
+    d.set("p99_acquire_us", 40.0);
+    d.set("wall_ms", 410.0);
+    drow.set("protocol", "loopback");
+    drow.set("dist", std::move(d));
+    results.push_back(std::move(drow));
+    EXPECT_NO_THROW(bench::validate(dist_doc));
 }
 
 TEST(BenchJsonTest, RejectsSchemaViolations) {
@@ -157,6 +183,16 @@ TEST(BenchJsonTest, RejectsSchemaViolations) {
     rrow.set("sim_rmr", Value::object());
     bad_rmr.set("results", Value::array()).push_back(std::move(rrow));
     EXPECT_THROW(bench::validate(bad_rmr), std::runtime_error);
+
+    // dist without its required quartet.
+    auto bad_dist = bench::make_doc("x");
+    auto drow = valid_native_row();
+    auto d = Value::object();
+    d.set("ops", 10);
+    d.set("sessions", 4);  // No network_rmrs_per_op / shards.
+    drow.set("dist", std::move(d));
+    bad_dist.set("results", Value::array()).push_back(std::move(drow));
+    EXPECT_THROW(bench::validate(bad_dist), std::runtime_error);
 }
 
 TEST(BenchJsonTest, WriteValidatesAndRoundTripsThroughDisk) {
