@@ -171,16 +171,16 @@ class SimVerbMemory {
 
 // ---- Deterministic load generation ---------------------------------------
 
-/// Per-session operation stream: a SplitMix64 sequence seeded as
-/// splitmix64(splitmix64(seed) + session) -- the same double mix the
-/// explorer uses for run seeds, so adjacent sessions' streams are
-/// decorrelated. Both backends draw from this generator, which is what
-/// makes sim grid rows bit-identical for any --jobs and lets the native
-/// loadgen replay the exact op mix the sim priced.
+/// Per-session operation stream: a SplitMix64 sequence seeded through the
+/// canonical sim::stream_seed double mix (the same derivation the explorer
+/// uses for run seeds), so adjacent sessions' streams are decorrelated.
+/// Both backends draw from this generator, which is what makes sim grid
+/// rows bit-identical for any --jobs and lets the native loadgen replay the
+/// exact op mix the sim priced.
 class OpStream {
    public:
     OpStream(std::uint64_t seed, std::uint32_t session)
-        : state_(sim::splitmix64(sim::splitmix64(seed) + session)) {}
+        : state_(sim::stream_seed(seed, session)) {}
 
     /// Next raw 64-bit draw.
     std::uint64_t next() {

@@ -6,7 +6,8 @@
 //   * regressions -- metric moved beyond tolerance in the bad direction
 //     (throughput_ops / sim_rmr means / sim_perf.steps_per_sec /
 //     explore.schedules_explored and .schedules_per_sec /
-//     dist.network_rmrs_per_op and .ops_per_sec, see
+//     dist.network_rmrs_per_op and .ops_per_sec /
+//     amortized.writer_amortized_rmrs and .expected_rmr, see
 //     bench_json.hpp for which direction is bad for each);
 //   * missing    -- rows present in the baseline but absent from the new
 //     run. A vanished row means the new binary silently stopped covering a
@@ -197,6 +198,24 @@ inline DiffReport diff(const json::Value& oldd, const json::Value& newd,
                                     nv->as_double(),
                                     /*drop_is_bad=*/true, opts.max_perf_drop,
                                     &rep.regressions);
+            }
+        }
+        const json::Value* old_a = old_row->find("amortized");
+        const json::Value* new_a = new_row->find("amortized");
+        if (old_a != nullptr && new_a != nullptr) {
+            // writer_amortized_rmrs is exact on deterministic grid rows and
+            // seed-deterministic on randomized ones; expected_rmr is the
+            // trial-set mean under a fixed base seed. Both are RMR costs:
+            // increase is bad, tight gate.
+            for (const char* m : {"writer_amortized_rmrs", "expected_rmr"}) {
+                const json::Value* ov = old_a->find(m);
+                const json::Value* nv = new_a->find(m);
+                if (ov != nullptr && nv != nullptr) {
+                    detail::diff_metric(key, m, ov->as_double(),
+                                        nv->as_double(),
+                                        /*drop_is_bad=*/false, opts.max_drop,
+                                        &rep.regressions);
+                }
             }
         }
         const json::Value* old_p = old_row->find("sim_perf");

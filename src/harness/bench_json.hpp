@@ -19,11 +19,16 @@
 //                                      writer_total_mean, writer_total_max },
 //                    "dist"?         { ops, network_rmrs_per_op, sessions,
 //                                      shards, ops_per_sec?, p50_acquire_us?,
-//                                      p99_acquire_us?, wall_ms? } } ]
+//                                      p99_acquire_us?, wall_ms? },
+//                    "amortized"?    { episodes, aborted, passages,
+//                                      writer_amortized_rmrs,
+//                                      abort_rmr_mean?, abort_rmr_max?,
+//                                      expected_rmr?, ci95?, trials?,
+//                                      worst_case_rmr? } } ]
 //   }
 //
 // A row must carry at least one payload group (throughput_ops, sim_rmr,
-// sim_perf, explore or dist); validate() enforces exactly this and is shared by the writers
+// sim_perf, explore, dist or amortized); validate() enforces exactly this and is shared by the writers
 // (so a binary can never emit an invalid file) and by `bench_compare
 // --check`. sim_rmr counts are exact (any diff is a protocol change);
 // sim_perf.steps is exact too, but wall_ms / steps_per_sec are wall-clock
@@ -174,12 +179,13 @@ inline void validate(const json::Value& doc) {
         const auto* perf = row.find("sim_perf");
         const auto* expl = row.find("explore");
         const auto* dist = row.find("dist");
+        const auto* amort = row.find("amortized");
         if (tput == nullptr && rmr == nullptr && perf == nullptr &&
-            expl == nullptr && dist == nullptr) {
+            expl == nullptr && dist == nullptr && amort == nullptr) {
             throw std::runtime_error(
                 at +
                 "carries none of throughput_ops / sim_rmr / sim_perf / "
-                "explore / dist");
+                "explore / dist / amortized");
         }
         if (tput != nullptr && !tput->is_number()) {
             throw std::runtime_error(at + "throughput_ops not numeric");
@@ -248,6 +254,34 @@ inline void validate(const json::Value& doc) {
                 const auto* v = dist->find(key);
                 if (v != nullptr && !v->is_number()) {
                     throw std::runtime_error(at + "dist \"" + key +
+                                             "\" not numeric");
+                }
+            }
+        }
+        if (amort != nullptr) {
+            if (amort->type() != json::Value::Type::Object) {
+                throw std::runtime_error(at + "amortized not an object");
+            }
+            // episodes / aborted / passages / writer_amortized_rmrs are
+            // exact on deterministic (round-robin) grid rows; the optional
+            // fields only appear on randomized-trial rows, where they
+            // summarize the seeded trial set (still bit-identical for a
+            // fixed base seed, but statistical in meaning).
+            for (const char* key :
+                 {"episodes", "aborted", "passages",
+                  "writer_amortized_rmrs"}) {
+                const auto* v = amort->find(key);
+                if (v == nullptr || !v->is_number()) {
+                    throw std::runtime_error(at + "amortized lacks \"" + key +
+                                             "\"");
+                }
+            }
+            for (const char* key :
+                 {"abort_rmr_mean", "abort_rmr_max", "expected_rmr", "ci95",
+                  "trials", "worst_case_rmr"}) {
+                const auto* v = amort->find(key);
+                if (v != nullptr && !v->is_number()) {
+                    throw std::runtime_error(at + "amortized \"" + key +
                                              "\" not numeric");
                 }
             }

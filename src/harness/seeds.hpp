@@ -1,0 +1,35 @@
+// Canonical seed derivation for every harness/bench consumer.
+//
+// One rule, one implementation: the i-th independent stream under a base
+// seed is sim::stream_seed(base, i) -- the double-mixed SplitMix64 the
+// explorer uses for its run seeds and the dist tier uses for its session
+// streams. Benches must derive per-run / per-cell / per-trial seeds
+// through these helpers instead of feeding consecutive integers (0, 1, 2,
+// ...) straight into generators: raw consecutive seeds put adjacent runs
+// one SplitMix64 index apart, so two "independent" sweeps share almost all
+// of their draws (see the decorrelation note on sim::stream_seed, and the
+// regression test in test_harness).
+#pragma once
+
+#include <cstdint>
+
+#include "sim/por.hpp"
+
+namespace rwr::harness {
+
+/// Seed of independent stream `i` under `base`.
+[[nodiscard]] inline std::uint64_t stream_seed(std::uint64_t base,
+                                               std::uint64_t i) {
+    return sim::stream_seed(base, i);
+}
+
+/// Two-level variant for nested sweeps (e.g. grid cell i, trial j): every
+/// (i, j) pair gets a stream decorrelated from every other pair AND from
+/// every single-level stream of the same base.
+[[nodiscard]] inline std::uint64_t stream_seed(std::uint64_t base,
+                                               std::uint64_t i,
+                                               std::uint64_t j) {
+    return sim::stream_seed(sim::stream_seed(base, i), j);
+}
+
+}  // namespace rwr::harness

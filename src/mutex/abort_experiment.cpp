@@ -1,0 +1,200 @@
+#include "mutex/abort_experiment.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "sim/checker.hpp"
+#include "sim/por.hpp"
+#include "sim/process.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/system.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::mutex {
+
+const char* to_string(AbortSched s) {
+    switch (s) {
+        case AbortSched::RoundRobin:
+            return "round-robin";
+        case AbortSched::ObliviousRandom:
+            return "oblivious";
+        case AbortSched::AdaptiveRmr:
+            return "adaptive";
+    }
+    return "?";
+}
+
+namespace {
+
+/// Uniform double in [0, 1) from a SplitMix64 state, advancing it.
+double u01(std::uint64_t& state) {
+    state = sim::splitmix64(state);
+    return static_cast<double>(state >> 11) * 0x1.0p-53;
+}
+
+struct SlotAccum {
+    AmortizedStats stats;
+    std::vector<AbortEpisode> episodes;
+};
+
+/// The per-slot workload: `passages` completed passages, each possibly
+/// preceded by aborted attempts. Every episode is bracketed by SectionStats
+/// snapshots; deltas feed the amortized ledger.
+sim::SimTask<void> drive(SimMutex& mx, AbortableSimMutex* amx,
+                         sim::Process& p, std::uint32_t slot,
+                         const AbortExperimentConfig& cfg, SlotAccum& acc) {
+    std::uint64_t stream = sim::stream_seed(cfg.workload.seed, slot);
+    const std::uint64_t span =
+        cfg.workload.patience_hi - cfg.workload.patience_lo + 1;
+    for (std::uint64_t k = 0; k < cfg.passages; ++k) {
+        for (;;) {
+            AbortControl ctl = AbortControl::never();
+            if (amx != nullptr && cfg.workload.abort_rate > 0.0) {
+                const double coin = u01(stream);
+                if (coin < cfg.workload.abort_rate) {
+                    stream = sim::splitmix64(stream);
+                    ctl = AbortControl::after(cfg.workload.patience_lo +
+                                              stream % span);
+                }
+            }
+            const SectionStats before = p.stats();
+            p.set_section(Section::Entry);
+            EnterResult r = EnterResult::Acquired;
+            if (amx != nullptr) {
+                r = co_await amx->enter_abortable(p, slot, ctl);
+            } else {
+                co_await mx.enter(p, slot);
+            }
+            if (r == EnterResult::Aborted) {
+                p.set_section(Section::Remainder);
+                const SectionStats d = p.stats() - before;
+                ++acc.stats.episodes;
+                ++acc.stats.aborted_episodes;
+                acc.stats.episode_rmrs += d.total_rmrs();
+                acc.stats.abort_rmrs += d.total_rmrs();
+                acc.stats.abort_rmr_max =
+                    std::max(acc.stats.abort_rmr_max, d.total_rmrs());
+                if (cfg.record_episodes) {
+                    acc.episodes.push_back(
+                        {true, d.total_rmrs(), d.total_steps()});
+                }
+                // One remainder beat between attempts, so consecutive
+                // attempts are distinct scheduling epochs (and the checker
+                // sees us leave the entry section).
+                co_await p.local_step();
+                continue;
+            }
+            p.set_section(Section::Critical);
+            for (std::uint64_t s = 0; s < cfg.cs_steps; ++s) {
+                co_await p.local_step();
+            }
+            p.set_section(Section::Exit);
+            co_await mx.exit(p, slot);
+            p.set_section(Section::Remainder);
+            p.note_passage_complete();
+            const SectionStats d = p.stats() - before;
+            ++acc.stats.episodes;
+            ++acc.stats.passages;
+            acc.stats.episode_rmrs += d.total_rmrs();
+            if (cfg.record_episodes) {
+                acc.episodes.push_back(
+                    {false, d.total_rmrs(), d.total_steps()});
+            }
+            break;
+        }
+    }
+}
+
+}  // namespace
+
+AbortExperimentResult run_abort_experiment(const AbortExperimentConfig& cfg) {
+    if (!cfg.builder) {
+        throw std::invalid_argument("run_abort_experiment: no builder");
+    }
+    sim::System sys(cfg.protocol);
+    std::unique_ptr<SimMutex> mx = cfg.builder(sys.memory());
+    auto* amx = dynamic_cast<AbortableSimMutex*>(mx.get());
+    std::vector<SlotAccum> accs(cfg.m);
+    for (std::uint32_t s = 0; s < cfg.m; ++s) {
+        sim::Process& p = sys.add_process(sim::Role::Writer);
+        p.set_task(drive(*mx, amx, p, s, cfg, accs[s]));
+    }
+    sim::MutualExclusionChecker checker(/*throw_on_violation=*/false);
+    sys.add_observer(&checker);
+
+    std::unique_ptr<sim::Scheduler> sched;
+    switch (cfg.sched) {
+        case AbortSched::RoundRobin:
+            sched = std::make_unique<sim::RoundRobinScheduler>();
+            break;
+        case AbortSched::ObliviousRandom:
+            sched = std::make_unique<sim::RandomScheduler>(cfg.sched_seed);
+            break;
+        case AbortSched::AdaptiveRmr:
+            sched = std::make_unique<sim::AdaptiveRmrScheduler>(cfg.sched_seed);
+            break;
+    }
+    const sim::RunResult rr = sim::run(sys, *sched, cfg.max_steps);
+    sys.check_failures();
+
+    AbortExperimentResult out;
+    for (auto& acc : accs) {
+        out.amortized.episodes += acc.stats.episodes;
+        out.amortized.aborted_episodes += acc.stats.aborted_episodes;
+        out.amortized.passages += acc.stats.passages;
+        out.amortized.episode_rmrs += acc.stats.episode_rmrs;
+        out.amortized.abort_rmrs += acc.stats.abort_rmrs;
+        out.amortized.abort_rmr_max =
+            std::max(out.amortized.abort_rmr_max, acc.stats.abort_rmr_max);
+        if (cfg.record_episodes) {
+            out.episodes.insert(out.episodes.end(), acc.episodes.begin(),
+                                acc.episodes.end());
+        }
+    }
+    out.me_violations = checker.violations();
+    out.finished = rr.all_finished;
+    out.steps = rr.steps;
+    out.memory_rmrs = sys.memory().total_rmrs();
+    out.proc_rmrs = sys.memory().proc_rmrs();
+    return out;
+}
+
+TrialStats estimate_expected_amortized(
+    const std::function<AbortExperimentConfig(std::uint64_t)>& make_cfg,
+    std::uint64_t trials, std::uint64_t seed) {
+    TrialStats out;
+    out.trials = trials;
+    if (trials == 0) {
+        return out;
+    }
+    std::vector<double> xs;
+    xs.reserve(trials);
+    for (std::uint64_t i = 0; i < trials; ++i) {
+        const AbortExperimentResult r =
+            run_abort_experiment(make_cfg(sim::stream_seed(seed, i)));
+        xs.push_back(r.amortized.amortized_rmrs_per_passage());
+    }
+    double sum = 0.0;
+    for (std::uint64_t i = 0; i < trials; ++i) {
+        sum += xs[i];
+        // Strict argmax, ties to the lowest index: any parallel re-ordering
+        // of the trials would still reduce to the same (worst, worst_trial).
+        if (xs[i] > out.worst) {
+            out.worst = xs[i];
+            out.worst_trial = i;
+        }
+    }
+    out.mean = sum / static_cast<double>(trials);
+    if (trials > 1) {
+        double ss = 0.0;
+        for (const double x : xs) {
+            ss += (x - out.mean) * (x - out.mean);
+        }
+        out.stddev = std::sqrt(ss / static_cast<double>(trials - 1));
+        out.ci95 = 1.96 * out.stddev / std::sqrt(static_cast<double>(trials));
+    }
+    return out;
+}
+
+}  // namespace rwr::mutex

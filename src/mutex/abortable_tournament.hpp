@@ -1,0 +1,68 @@
+// Abortable Peterson arbitration tree: TournamentSimMutex (the paper's WL
+// exemplar) extended with the literature's standard abort move -- a waiter
+// that gives up simply retracts its competing flag at the node it is stuck
+// at, then releases the nodes it had already won, top-down. The retraction
+// is safe because a Peterson waiter owns no node state its rival depends
+// on beyond the flag itself: lowering it can only unblock the rival.
+//
+// This is the deterministic Theta(log m)-per-passage contrast for E18: an
+// aborted attempt pays the full climb to its abort level AND the rollback,
+// and the retry pays the climb again -- so on abort-heavy workloads the
+// amortized per-passage cost stays Theta(log m) (or worse), while
+// JJAmortizedMutex's abandoned-ticket scheme keeps it O(1).
+//
+// A separate class (rather than making TournamentSimMutex abortable in
+// place) so mutex/sim_mutex.hpp keeps no dependency on the abortable tier
+// and the E15 baselines stay byte-identical.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mutex/abortable.hpp"
+#include "rmr/memory.hpp"
+#include "sim/process.hpp"
+#include "sim/task.hpp"
+
+namespace rwr::mutex {
+
+class AbortableTournamentMutex final : public AbortableSimMutex {
+   public:
+    AbortableTournamentMutex(Memory& mem, const std::string& name,
+                             std::uint32_t m);
+
+    sim::SimTask<EnterResult> enter_abortable(sim::Process& p,
+                                              std::uint32_t slot,
+                                              AbortControl ctl) override;
+    sim::SimTask<void> exit(sim::Process& p, std::uint32_t slot) override;
+    [[nodiscard]] std::string name() const override {
+        return "tournament-abortable";
+    }
+
+    [[nodiscard]] std::uint32_t levels() const { return levels_; }
+
+   private:
+    struct Node {
+        VarId flag[2];
+        VarId victim;
+    };
+
+    /// Peterson entry at node `n` as `side`, counting own steps against
+    /// ctl.patience. Returns Aborted with the flag already retracted.
+    sim::SimTask<EnterResult> node_enter(sim::Process& p, std::uint32_t n,
+                                         Word side, AbortControl ctl,
+                                         std::uint64_t& steps);
+    sim::SimTask<void> node_exit(sim::Process& p, std::uint32_t n, Word side);
+    /// Releases the nodes below tree position `pos` on `slot`'s path,
+    /// top-down -- shared by exit (pos = root) and the abort rollback.
+    sim::SimTask<void> release_below(sim::Process& p, std::uint32_t slot,
+                                     std::uint32_t pos);
+
+    std::uint32_t m_;
+    std::uint32_t num_leaves_;
+    std::uint32_t levels_;
+    std::vector<Node> nodes_;  ///< Heap-ordered; nodes_[0] is the root.
+};
+
+}  // namespace rwr::mutex

@@ -9,10 +9,12 @@
 // writer, making the ME predicate "at most one process in the CS".
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
 
+#include "mutex/abortable.hpp"
 #include "mutex/sim_mutex.hpp"
 #include "sim/checker.hpp"
 #include "sim/explorer.hpp"
@@ -64,6 +66,92 @@ using MutexBuilder =
             sim::Process& p = sc.sys->add_process(sim::Role::Writer);
             p.set_task(explore_mutex_passages(*extra->mx, p, s, passages,
                                               cs_steps));
+        }
+        sc.checker = std::make_unique<sim::MutualExclusionChecker>(
+            /*throw_on_violation=*/true);
+        sc.sys->add_observer(sc.checker.get());
+        sc.extra = std::move(extra);
+        return sc;
+    };
+}
+
+/// Like explore_mutex_passages, but the FIRST acquisition attempt runs
+/// under `first_ctl` (subsequent attempts, including the retry after an
+/// abort, block normally -- so every schedule still completes its passages
+/// and an unfinished run means a genuine liveness bug, not a scheduled
+/// abort). Each abort that actually fires bumps `fired`: the coverage
+/// witness for the single-abort-placement sweep (probe patience j = 0, 1,
+/// 2, ... until some j never fires -- then every reachable abort point has
+/// been explored, the exact analogue of the crash adversary's
+/// probe-until-unfired discipline).
+inline sim::SimTask<void> explore_abortable_passages(
+    AbortableSimMutex& mx, sim::Process& p, std::uint32_t slot,
+    std::uint64_t passages, std::uint64_t cs_steps, AbortControl first_ctl,
+    std::atomic<std::uint64_t>* fired) {
+    bool first = true;
+    for (std::uint64_t k = 0; k < passages; ++k) {
+        for (;;) {
+            AbortControl ctl = AbortControl::never();
+            if (first) {
+                ctl = first_ctl;
+                first = false;
+            }
+            p.set_section(Section::Entry);
+            const EnterResult r = co_await mx.enter_abortable(p, slot, ctl);
+            if (r == EnterResult::Aborted) {
+                p.set_section(Section::Remainder);
+                if (fired != nullptr) {
+                    fired->fetch_add(1, std::memory_order_relaxed);
+                }
+                co_await p.local_step();
+                continue;
+            }
+            p.set_section(Section::Critical);
+            for (std::uint64_t s = 0; s < cs_steps; ++s) {
+                co_await p.local_step();
+            }
+            p.set_section(Section::Exit);
+            co_await mx.exit(p, slot);
+            p.set_section(Section::Remainder);
+            p.note_passage_complete();
+            break;
+        }
+    }
+}
+
+using AbortableMutexFactory =
+    std::function<std::unique_ptr<AbortableSimMutex>(Memory&, std::uint32_t m)>;
+
+/// Scenario: m writers, with `aborter_slot`'s first attempt impatient
+/// after `patience` own entry steps. Patience is process-local state, so
+/// the abort point commutes with other processes' steps exactly like any
+/// local step -- the scenario stays sound under DPOR (reduction_safe).
+/// `fired` (shared across all schedules of an explore() call -- hence
+/// atomic, the frontier is parallel) witnesses which placements are
+/// reachable at all.
+[[nodiscard]] inline sim::ScenarioFactory abortable_mutex_scenario_factory(
+    AbortableMutexFactory builder, std::uint32_t m, std::uint64_t passages,
+    std::uint64_t cs_steps, std::uint32_t aborter_slot, std::uint64_t patience,
+    std::shared_ptr<std::atomic<std::uint64_t>> fired) {
+    return [builder = std::move(builder), m, passages, cs_steps, aborter_slot,
+            patience, fired = std::move(fired)]() {
+        struct Extra {
+            std::unique_ptr<AbortableSimMutex> mx;
+            std::shared_ptr<std::atomic<std::uint64_t>> fired;
+        };
+        auto extra = std::make_shared<Extra>();
+        extra->fired = fired;
+        sim::Scenario sc;
+        sc.sys = std::make_unique<sim::System>(Protocol::WriteThrough);
+        extra->mx = builder(sc.sys->memory(), m);
+        for (std::uint32_t s = 0; s < m; ++s) {
+            sim::Process& p = sc.sys->add_process(sim::Role::Writer);
+            const AbortControl first_ctl = s == aborter_slot
+                                               ? AbortControl::after(patience)
+                                               : AbortControl::never();
+            p.set_task(explore_abortable_passages(*extra->mx, p, s, passages,
+                                                  cs_steps, first_ctl,
+                                                  extra->fired.get()));
         }
         sc.checker = std::make_unique<sim::MutualExclusionChecker>(
             /*throw_on_violation=*/true);

@@ -1,0 +1,205 @@
+#include "mutex/jj_amortized.hpp"
+
+#include <bit>
+
+namespace rwr::mutex {
+namespace detail {
+
+TicketNode::TicketNode(Memory& mem, const std::string& name,
+                       std::uint32_t parts, std::uint32_t cells,
+                       std::optional<ProcId> coordinator,
+                       const std::vector<ProcId>* cell_owners)
+    : cells_(cells), ring_(4 * std::bit_ceil(parts == 0 ? 1U : parts)) {
+    const ProcId coord = coordinator.value_or(Memory::kNoOwner);
+    tail_ = mem.allocate(name + ".tail", 0, coord);
+    grant_ = mem.allocate(name + ".grant", 0, coord);
+    state_.reserve(ring_);
+    claimant_.reserve(ring_);
+    for (std::uint32_t i = 0; i < ring_; ++i) {
+        state_.push_back(
+            mem.allocate(name + ".state" + std::to_string(i), 0, coord));
+        claimant_.push_back(
+            mem.allocate(name + ".claim" + std::to_string(i), 0, coord));
+    }
+    wake_.reserve(std::size_t{parts} * cells);
+    for (std::uint32_t s = 0; s < parts; ++s) {
+        const ProcId home = cell_owners ? (*cell_owners)[s] : Memory::kNoOwner;
+        for (std::uint32_t c = 0; c < cells; ++c) {
+            wake_.push_back(mem.allocate(name + ".wake" + std::to_string(s) +
+                                             "." + std::to_string(c),
+                                         0, home));
+        }
+    }
+    outstanding_.assign(parts, 0);
+    outstanding_cell_.assign(parts, 0);
+    holding_.assign(parts, 0);
+}
+
+sim::SimTask<EnterResult> TicketNode::enter(sim::Process& p,
+                                            std::uint32_t part,
+                                            std::uint32_t cell_choice,
+                                            AbortControl ctl,
+                                            std::uint64_t& steps) {
+    Word t = 0;
+    std::uint32_t cell = 0;
+    bool armed = false;
+    if (outstanding_[part] != 0) {
+        // Re-arm the entry abandoned by our last aborted attempt, BEFORE
+        // ever taking a fresh ticket: this is what bounds un-consumed
+        // tickets to one per participant, which in turn bounds the live
+        // span [grant, tail) to `parts` and makes the ring ABA-safe.
+        const Word o = outstanding_[part] - 1;
+        const Word prior =
+            co_await p.cas(state_of(o), pack(o, kAborted), pack(o, kWaiting));
+        ++steps;
+        outstanding_[part] = 0;
+        if (prior == pack(o, kAborted)) {
+            t = o;
+            cell = outstanding_cell_[part];  // Sticky; see header.
+            armed = true;
+        }
+        // Else a release sweep consumed the entry (that O(1) was charged to
+        // the abort episode); fall through to a fresh ticket.
+    }
+    if (!armed) {
+        cell = part * cells_ + cell_choice;
+        t = co_await p.fetch_add(tail_, 1);
+        ++steps;
+        co_await p.write(claimant_of(t), cell + 1);
+        ++steps;
+        co_await p.write(state_of(t), pack(t, kWaiting));
+        ++steps;
+        outstanding_cell_[part] = cell;
+    }
+    // Publish-then-read handshake: our Waiting entry is visible; now read
+    // the cursor. The releaser writes the cursor and then reads the entry,
+    // so under the simulator's sequentially consistent memory at least one
+    // side sees the other -- the license cannot fall between the two.
+    const Word g = co_await p.read(grant_);
+    ++steps;
+    if (g == t) {
+        const Word prior =
+            co_await p.cas(state_of(t), pack(t, kWaiting), pack(t, kSelf));
+        ++steps;
+        if (prior != pack(t, kWaiting)) {
+            // The releaser's Granted CAS won the tie and is committed to
+            // writing our wake word. Absorb that write before proceeding:
+            // leaving it in flight across episodes would let it clobber a
+            // future grant signal on this cell.
+            Word w = co_await p.read(wake_[cell]);
+            while (w != t + 1) {
+                w = co_await p.read(wake_[cell]);
+            }
+        }
+        holding_[part] = t;
+        co_return EnterResult::Acquired;
+    }
+    for (;;) {
+        if (steps >= ctl.patience) {
+            const Word prior = co_await p.cas(state_of(t), pack(t, kWaiting),
+                                              pack(t, kAborted));
+            if (prior == pack(t, kWaiting)) {
+                if (broken_abort_) {
+                    // MUTANT: "helpfully" pass the license on instead of
+                    // abandoning the ticket. The next claimant self-grants
+                    // off the advanced cursor while the real holder may
+                    // still be in the CS -- a mutual exclusion violation
+                    // the abort-placement exploration must catch.
+                    co_await p.write(grant_, t + 1);
+                } else {
+                    outstanding_[part] = t + 1;
+                }
+                co_return EnterResult::Aborted;
+            }
+            // Aborted too late: the grant already committed to us. Absorb
+            // the wake write, take the lock, pass it straight on, then
+            // report the abort. Keeping the handover serialized here is
+            // what guarantees at most one wake write is ever in flight per
+            // cell (the ME argument leans on it).
+            Word w = co_await p.read(wake_[cell]);
+            while (w != t + 1) {
+                w = co_await p.read(wake_[cell]);
+            }
+            holding_[part] = t;
+            co_await exit(p, part);
+            co_return EnterResult::Aborted;
+        }
+        const Word w = co_await p.read(wake_[cell]);
+        ++steps;
+        if (w == t + 1) {
+            holding_[part] = t;
+            co_return EnterResult::Acquired;
+        }
+    }
+}
+
+sim::SimTask<void> TicketNode::exit(sim::Process& p, std::uint32_t part) {
+    Word g = holding_[part];
+    for (;;) {
+        ++g;
+        co_await p.write(grant_, g);
+        for (;;) {
+            const Word v = co_await p.read(state_of(g));
+            if (v == pack(g, kWaiting)) {
+                const Word prior = co_await p.cas(
+                    state_of(g), pack(g, kWaiting), pack(g, kGranted));
+                if (prior != pack(g, kWaiting)) {
+                    continue;  // Lost to a concurrent abort; re-read.
+                }
+                const Word c = co_await p.read(claimant_of(g));
+                co_await p.write(wake_[c - 1], g + 1);
+                co_return;
+            }
+            if (v == pack(g, kAborted)) {
+                const Word prior = co_await p.cas(
+                    state_of(g), pack(g, kAborted), pack(g, kConsumed));
+                if (prior != pack(g, kAborted)) {
+                    continue;  // Re-armed under us; re-read (now Waiting).
+                }
+                break;  // Abandoned entry consumed in O(1); sweep on.
+            }
+            // Self (the claimant raced us off the cursor) or a stale slot
+            // (ticket g not published yet: its claimant will read the
+            // cursor we just wrote and self-grant). Either way the license
+            // is delivered; nothing left to do.
+            co_return;
+        }
+    }
+}
+
+std::vector<ProcId> homed_cell_owners(std::uint32_t m,
+                                      std::optional<ProcId> owner_base) {
+    std::vector<ProcId> owners;
+    if (owner_base) {
+        owners.reserve(m);
+        for (std::uint32_t s = 0; s < m; ++s) {
+            owners.push_back(static_cast<ProcId>(*owner_base + s));
+        }
+    }
+    return owners;
+}
+
+}  // namespace detail
+
+JJAmortizedMutex::JJAmortizedMutex(Memory& mem, const std::string& name,
+                                   std::uint32_t m, Options opts)
+    : cell_owners_(detail::homed_cell_owners(m, opts.owner_base)),
+      node_(mem, name, m, 1, opts.owner_base,
+            cell_owners_.empty() ? nullptr : &cell_owners_) {
+    node_.set_broken_abort_advances_grant(opts.broken_abort_advances_grant);
+}
+
+sim::SimTask<EnterResult> JJAmortizedMutex::enter_abortable(sim::Process& p,
+                                                            std::uint32_t slot,
+                                                            AbortControl ctl) {
+    std::uint64_t steps = 0;
+    const EnterResult r = co_await node_.enter(p, slot, 0, ctl, steps);
+    co_return r;
+}
+
+sim::SimTask<void> JJAmortizedMutex::exit(sim::Process& p,
+                                          std::uint32_t slot) {
+    co_await node_.exit(p, slot);
+}
+
+}  // namespace rwr::mutex

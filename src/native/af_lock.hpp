@@ -100,6 +100,8 @@ class AfLock {
                 }
             }
         }
+        RWR_TELEM(reader_retry_ = std::make_unique<TelemetryFlag[]>(n_);
+                  writer_retry_ = std::make_unique<TelemetryFlag[]>(m_);)
 #if RWR_AF_MISUSE_CHECKS
         reader_busy_ = std::make_unique<PaddedFlag[]>(n_);
         writer_busy_ = std::make_unique<PaddedFlag[]>(m_);
@@ -135,7 +137,11 @@ class AfLock {
     bool lock_shared_until(std::uint32_t reader_id, Deadline deadline) {
         check_reader(reader_id);
         reader_acquire_guard(reader_id);
-        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderEntry);)
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kReaderEntry);
+                  if (telemetry_ && reader_retry_[reader_id].v.exchange(
+                                        0, std::memory_order_relaxed) != 0) {
+                      telemetry_->count(TelemetryCounter::kReaderAbortRetry);
+                  })
         const Placement p = entry_placement(reader_id);
         const std::uint32_t g = p.group;
         const std::uint32_t slot = p.slot;
@@ -178,6 +184,8 @@ class AfLock {
         reader_release_guard(reader_id);
         RWR_TELEM(if (telemetry_) {
             telemetry_->count(TelemetryCounter::kReaderAbort);
+            reader_retry_[reader_id].v.store(1, std::memory_order_relaxed);
+            sw.stop_into(TelemetryHisto::kAbortLatency);
         })
         return false;
     }
@@ -212,11 +220,18 @@ class AfLock {
     bool lock_until(std::uint32_t writer_id, Deadline deadline) {
         check_writer(writer_id);
         writer_acquire_guard(writer_id);
-        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterEntry); bool contended = false;)
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_, TelemetryHisto::kWriterEntry);
+                  bool contended = false;
+                  if (telemetry_ && writer_retry_[writer_id].v.exchange(
+                                        0, std::memory_order_relaxed) != 0) {
+                      telemetry_->count(TelemetryCounter::kWriterAbortRetry);
+                  })
         if (!wl_.lock_until(writer_id, deadline)) {  // Line 6.
             writer_release_guard(writer_id);
             RWR_TELEM(if (telemetry_) {
                 telemetry_->count(TelemetryCounter::kWriterAbort);
+                writer_retry_[writer_id].v.store(1, std::memory_order_relaxed);
+                sw.stop_into(TelemetryHisto::kAbortLatency);
             })
             return false;
         }
@@ -242,6 +257,9 @@ class AfLock {
                 if (!ok) {
                     RWR_TELEM(if (telemetry_) {
                         telemetry_->count(TelemetryCounter::kWriterAbort);
+                        writer_retry_[writer_id].v.store(
+                            1, std::memory_order_relaxed);
+                        sw.stop_into(TelemetryHisto::kAbortLatency);
                     })
                     abort_writer_entry(writer_id, seq);
                     return false;
@@ -266,6 +284,9 @@ class AfLock {
                 if (!ok) {
                     RWR_TELEM(if (telemetry_) {
                         telemetry_->count(TelemetryCounter::kWriterAbort);
+                        writer_retry_[writer_id].v.store(
+                            1, std::memory_order_relaxed);
+                        sw.stop_into(TelemetryHisto::kAbortLatency);
                     })
                     abort_writer_entry(writer_id, seq);
                     return false;
@@ -575,6 +596,12 @@ class AfLock {
     alignas(64) ParkingSpot rsig_spot_;
 #if RWR_TELEMETRY
     LockTelemetry* telemetry_ = nullptr;
+    /// Per-id "last attempt aborted" flags behind the *_abort_retries
+    /// counters: an attempt that finds its id's flag set is a retry (the
+    /// flag is cleared on every attempt and re-set on every abort, so the
+    /// counts are exact, not sampled).
+    std::unique_ptr<TelemetryFlag[]> reader_retry_;
+    std::unique_ptr<TelemetryFlag[]> writer_retry_;
 #endif
 #if RWR_AF_MISUSE_CHECKS
     static constexpr std::uint32_t kNoHolder = 0xffffffffu;

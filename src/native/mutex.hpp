@@ -29,6 +29,7 @@ class TournamentMutex {
         if (m == 0) {
             throw std::invalid_argument("TournamentMutex: m must be >= 1");
         }
+        RWR_TELEM(retry_ = std::make_unique<TelemetryFlag[]>(m_);)
     }
 
     /// Attach a telemetry sink (nullptr detaches); reports under the
@@ -61,6 +62,15 @@ class TournamentMutex {
     /// below in the same top-down order unlock() uses.
     bool lock_until(std::uint32_t slot, Deadline deadline) {
         check_slot(slot);
+        // The abort stopwatch arms on kAbortLatency's own sampling
+        // sequence; it only ever records on the abort path below, so a
+        // successful climb costs at most the sampling-decision branch.
+        RWR_TELEM(TelemetryStopwatch sw(telemetry_,
+                                        TelemetryHisto::kAbortLatency);
+                  if (telemetry_ && retry_[slot].v.exchange(
+                                        0, std::memory_order_relaxed) != 0) {
+                      telemetry_->count(TelemetryCounter::kMutexAbortRetry);
+                  })
         std::uint32_t won[32];  // Node indices won so far, bottom-up.
         std::uint32_t depth = 0;
         std::uint32_t pos = (num_leaves_ - 1) + slot;
@@ -78,6 +88,8 @@ class TournamentMutex {
                 }
                 RWR_TELEM(if (telemetry_) {
                     telemetry_->count(TelemetryCounter::kMutexAbort);
+                    retry_[slot].v.store(1, std::memory_order_relaxed);
+                    sw.stop();
                 })
                 return false;
             }
@@ -169,6 +181,9 @@ class TournamentMutex {
     std::unique_ptr<Node[]> nodes_;
 #if RWR_TELEMETRY
     LockTelemetry* telemetry_ = nullptr;
+    /// Per-slot "last attempt aborted" flags behind mutex_abort_retries
+    /// (see af_lock.hpp for the exact-count contract).
+    std::unique_ptr<TelemetryFlag[]> retry_;
 #endif
 };
 

@@ -67,6 +67,11 @@ enum class TelemetryCounter : std::uint32_t {
     kMutexAcquire,        ///< Standalone mutex acquisitions (WL, MCS, ...).
     kMutexContended,      ///< ... of which waited at least once.
     kMutexAbort,          ///< Failed try/timed mutex acquisitions.
+    kReaderAbortRetry,    ///< lock_shared attempts right after an abort by
+                          ///< the same reader id (the amortized-RMR
+                          ///< denominator's retry traffic, E18).
+    kWriterAbortRetry,    ///< Likewise for writer ids.
+    kMutexAbortRetry,     ///< Likewise for standalone mutex slots.
     kBackoffYield,        ///< Waits that escalated pause -> yield.
     kBackoffSleep,        ///< Waits that escalated yield -> sleep.
     kFutexWait,           ///< Kernel (or portable-fallback) parked waits.
@@ -81,6 +86,11 @@ enum class TelemetryHisto : std::uint32_t {
     kReaderExit,
     kWriterEntry,
     kWriterExit,
+    /// Time spent inside an acquisition call that ended in an abort
+    /// (deadline expiry or failed try): how long a caller paid before
+    /// giving up. Fed by stop_into() from the entry stopwatches, so its
+    /// sampling rides the entry histograms' sequences.
+    kAbortLatency,
     kNumHistos
 };
 
@@ -103,6 +113,9 @@ inline const char* to_string(TelemetryCounter c) {
         case TelemetryCounter::kMutexAcquire: return "mutex_acquisitions";
         case TelemetryCounter::kMutexContended: return "mutex_contended";
         case TelemetryCounter::kMutexAbort: return "mutex_aborts";
+        case TelemetryCounter::kReaderAbortRetry: return "reader_abort_retries";
+        case TelemetryCounter::kWriterAbortRetry: return "writer_abort_retries";
+        case TelemetryCounter::kMutexAbortRetry: return "mutex_abort_retries";
         case TelemetryCounter::kBackoffYield: return "backoff_yield_transitions";
         case TelemetryCounter::kBackoffSleep: return "backoff_sleep_transitions";
         case TelemetryCounter::kFutexWait: return "futex_waits";
@@ -118,6 +131,7 @@ inline const char* to_string(TelemetryHisto h) {
         case TelemetryHisto::kReaderExit: return "reader_exit";
         case TelemetryHisto::kWriterEntry: return "writer_entry";
         case TelemetryHisto::kWriterExit: return "writer_exit";
+        case TelemetryHisto::kAbortLatency: return "abort_latency";
         default: return "?";
     }
 }
@@ -184,6 +198,16 @@ struct TelemetrySnapshot {
 constexpr bool telemetry_enabled() { return RWR_TELEMETRY != 0; }
 
 #if RWR_TELEMETRY
+
+/// Cache-line-padded per-id flag for the abort-retry tracking arrays: each
+/// flag is written on every attempt by the id's owning thread, so packing
+/// 64 per line would bounce that line across cores (same rationale as the
+/// misuse-check guards in af_lock.hpp). Telemetry builds only.
+struct alignas(64) TelemetryFlag {
+    std::atomic<std::uint8_t> v{0};
+};
+static_assert(sizeof(TelemetryFlag) == 64 && alignof(TelemetryFlag) == 64,
+              "retry flags must not share cache lines");
 
 namespace detail {
 /// Process-wide thread index for slot hashing; assigned once per thread on
@@ -306,13 +330,19 @@ class TelemetryStopwatch {
         }
     }
 
-    void stop() {
+    void stop() { stop_into(h_); }
+
+    /// Record into a different histogram than the one whose sampling
+    /// sequence armed the stopwatch -- for outcome-dependent destinations
+    /// (an acquisition that ends in an abort reports under kAbortLatency
+    /// instead of its entry histogram).
+    void stop_into(TelemetryHisto h) {
         if (armed_) {
             const auto ns =
                 std::chrono::duration_cast<std::chrono::nanoseconds>(
                     std::chrono::steady_clock::now() - start_)
                     .count();
-            t_->record_ns(h_, ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
+            t_->record_ns(h, ns < 0 ? 0 : static_cast<std::uint64_t>(ns));
             armed_ = false;
         }
     }
@@ -346,6 +376,7 @@ class TelemetryStopwatch {
    public:
     TelemetryStopwatch(LockTelemetry*, TelemetryHisto) {}
     void stop() {}
+    void stop_into(TelemetryHisto) {}
 };
 
 #endif  // RWR_TELEMETRY

@@ -55,6 +55,25 @@ bool Memory::coherent_write(ProcId p, VarId v) {
     return true;  // Unreachable.
 }
 
+bool Memory::would_rmr(ProcId p, const Op& op) const {
+    if (!op.touches_memory() || op.var.index >= values_.size()) {
+        return false;  // Local steps are free by definition.
+    }
+    // Mirrors coherent_read/coherent_write without mutating the directory
+    // (CAS and FetchAdd are write accesses cache-wise, like apply()).
+    const bool write_like = op.code != OpCode::Read;
+    switch (protocol_) {
+        case Protocol::WriteThrough:
+            return write_like || !dirs_[op.var.index].holds(p);
+        case Protocol::WriteBack:
+            return write_like ? !dirs_[op.var.index].holds_exclusive(p)
+                              : !dirs_[op.var.index].holds(p);
+        case Protocol::Dsm:
+            return owners_[op.var.index] != p;
+    }
+    return true;  // Unreachable.
+}
+
 OpResult Memory::apply(ProcId p, const Op& op) {
     if (!op.touches_memory()) {
         throw std::logic_error("Memory::apply called with a Local op");

@@ -86,6 +86,12 @@ class Memory {
         return dirs_[v.index].holds_exclusive(p);
     }
 
+    /// Would executing `op` as process `p` incur an RMR, given the current
+    /// coherence state? Pure predicate: no cache or counter updates. This is
+    /// what the adaptive adversary scheduler consults to steer every step
+    /// toward a remote reference (rmr/op.hpp's cost model, read-only).
+    [[nodiscard]] bool would_rmr(ProcId p, const Op& op) const;
+
     /// Total RMRs incurred by all processes since construction.
     [[nodiscard]] std::uint64_t total_rmrs() const { return total_rmrs_; }
     /// Total shared-memory steps executed.

@@ -9,6 +9,7 @@
 #include <memory>
 #include <string>
 
+#include "mutex/jj_amortized.hpp"
 #include "sim/checker.hpp"
 #include "sim/explorer.hpp"
 #include "sim/rwlock.hpp"
@@ -96,6 +97,33 @@ class TocTouLock final : public SimRWLock {
    private:
     VarId readers_;
     VarId wlock_;
+};
+
+/// Abortable-mutex mutant: the JJ ticket queue with its abort path
+/// "helpfully" advancing the grant cursor past its own ticket instead of
+/// abandoning the entry. The next claimant then self-grants off the
+/// advanced cursor while the real holder may still be in the CS -- a
+/// mutual exclusion violation that ONLY materializes on schedules where an
+/// abort actually fires, making it the teeth-check for the single-abort-
+/// placement exploration sweep (test_abortable): a sweep that cannot
+/// distinguish this mutant from the real lock proves nothing.
+///
+/// Riding in this header alongside the RW mutants; users link rwr_mutex
+/// (test_explore_reduction and bench_explore already do).
+class BrokenAbortTicketMutex final : public mutex::JJAmortizedMutex {
+   public:
+    BrokenAbortTicketMutex(Memory& mem, const std::string& name,
+                           std::uint32_t m)
+        : mutex::JJAmortizedMutex(mem, name, m, broken_options()) {}
+
+    [[nodiscard]] std::string name() const override { return "broken-abort"; }
+
+   private:
+    [[nodiscard]] static mutex::JJAmortizedMutex::Options broken_options() {
+        mutex::JJAmortizedMutex::Options o;
+        o.broken_abort_advances_grant = true;
+        return o;
+    }
 };
 
 /// n readers + m writers driving 2 passages of `LockT` with a throwing

@@ -94,15 +94,24 @@ using SleepSet = std::vector<SleepEntry>;
     return x ^ (x >> 31);
 }
 
-/// Per-run scheduler seed for explore_random run `i` under base seed `base`.
+/// Canonical derivation of the i-th independent stream under seed `base`.
 /// The double mix matters: `splitmix64(base + i)` alone would make adjacent
-/// *base* seeds share all but one of their derived streams (base 42 run 1 ==
-/// base 43 run 0), which silently halves the coverage of seed sweeps.
+/// *base* seeds share all but one of their derived streams (base 42 stream 1
+/// == base 43 stream 0), which silently halves the coverage of seed sweeps.
 /// Mixing the base first puts adjacent bases ~2^64 apart in the index
-/// sequence, so their run-seed streams are disjoint in practice.
+/// sequence, so their stream seeds are disjoint in practice. Every seeded
+/// component in the repo (explore_random runs, dist load-generator sessions,
+/// randomized-mutex trials) derives through this one helper; see also the
+/// harness-facing re-export in harness/seeds.hpp.
+[[nodiscard]] inline std::uint64_t stream_seed(std::uint64_t base,
+                                               std::uint64_t i) {
+    return splitmix64(splitmix64(base) + i);
+}
+
+/// Per-run scheduler seed for explore_random run `i` under base seed `base`.
 [[nodiscard]] inline std::uint64_t explore_run_seed(std::uint64_t base,
                                                     std::uint64_t i) {
-    return splitmix64(splitmix64(base) + i);
+    return stream_seed(base, i);
 }
 
 }  // namespace rwr::sim

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sim/por.hpp"
+
 namespace rwr::sim {
 
 ProcId RoundRobinScheduler::pick(const System& sys,
@@ -22,6 +24,23 @@ ProcId RandomScheduler::pick(const System& sys,
     (void)sys;
     std::uniform_int_distribution<std::size_t> dist(0, runnable.size() - 1);
     return runnable[dist(rng_)];
+}
+
+ProcId AdaptiveRmrScheduler::pick(const System& sys,
+                                  const std::vector<ProcId>& runnable) {
+    preferred_.clear();
+    for (const ProcId p : runnable) {
+        const Process& proc = sys.process(p);
+        if (sys.memory().would_rmr(p, proc.pending())) {
+            preferred_.push_back(p);
+        }
+    }
+    // No process is about to pay an RMR (everyone is cache-local): any
+    // choice costs the algorithm nothing extra, pick seeded-uniform over
+    // the whole runnable set instead.
+    const std::vector<ProcId>& pool = preferred_.empty() ? runnable : preferred_;
+    state_ = splitmix64(state_);
+    return pool[state_ % pool.size()];
 }
 
 PctScheduler::PctScheduler(std::uint64_t seed, std::size_t num_processes,

@@ -34,6 +34,11 @@ class RoundRobinScheduler final : public Scheduler {
 };
 
 /// Uniformly random choice; fair with probability 1.
+///
+/// Doubles as the *oblivious* adversary for randomized algorithms: its
+/// choice sequence is a function of the seed alone, fixed before the run,
+/// so it cannot react to the algorithm's coin flips (the weak-adversary
+/// model of the randomized mutual exclusion literature).
 class RandomScheduler final : public Scheduler {
    public:
     explicit RandomScheduler(std::uint64_t seed) : rng_(seed) {}
@@ -41,6 +46,28 @@ class RandomScheduler final : public Scheduler {
 
    private:
     std::mt19937_64 rng_;
+};
+
+/// Adaptive (strong) adversary for randomized algorithms: inspects every
+/// runnable process's pending op against the current coherence state
+/// (Memory::would_rmr) and steers execution toward remote references --
+/// processes about to incur an RMR are preferred, with a seeded-uniform
+/// tie-break inside the preferred class. Because it reads the processes'
+/// *pending* ops, it sees the outcome of past coin flips (they already
+/// determined which op is pending), which is exactly the extra power the
+/// adaptive-adversary expected-RMR bounds are stated against.
+///
+/// Deterministic given the seed: the tie-break draws from a private
+/// SplitMix64 stream, not std::uniform_int_distribution, so runs are
+/// bit-identical across platforms and --jobs splits.
+class AdaptiveRmrScheduler final : public Scheduler {
+   public:
+    explicit AdaptiveRmrScheduler(std::uint64_t seed) : state_(seed) {}
+    ProcId pick(const System& sys, const std::vector<ProcId>& runnable) override;
+
+   private:
+    std::uint64_t state_;
+    std::vector<ProcId> preferred_;  ///< Scratch; reused across picks.
 };
 
 /// Probabilistic Concurrency Testing (Burckhardt et al., ASPLOS 2010):

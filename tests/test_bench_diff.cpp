@@ -186,6 +186,58 @@ TEST(BenchDiff, DistThroughputDropGatedByWallClockFloor) {
               "t/e17-loopback-homed/loopback/n1024/m8/f32/t8/wr90");
 }
 
+json::Value make_amortized_row(double writer_amortized, double expected,
+                               double ci95 = 0.5) {
+    auto row = json::Value::object();
+    row.set("lock", "jj-amortized");
+    row.set("protocol", "write-back");
+    row.set("n", std::uint64_t{0});
+    row.set("m", std::uint64_t{8});
+    row.set("f", std::uint64_t{1});
+    row.set("threads", std::uint64_t{1});
+    row.set("workload", "ab50");
+    auto a = json::Value::object();
+    a.set("episodes", std::uint64_t{96});
+    a.set("aborted", std::uint64_t{32});
+    a.set("passages", std::uint64_t{64});
+    a.set("writer_amortized_rmrs", writer_amortized);
+    a.set("expected_rmr", expected);
+    a.set("ci95", ci95);
+    a.set("trials", std::uint64_t{9});
+    row.set("amortized", std::move(a));
+    return row;
+}
+
+TEST(BenchDiff, AmortizedRmrIncreaseBeyondToleranceRegresses) {
+    auto oldd = bench::make_doc("abortable");
+    auto newd = bench::make_doc("abortable");
+    results_of(oldd)->push_back(make_amortized_row(10.0, 9.0));
+    // A crafted 2x regression on both amortized metrics must fire the gate.
+    results_of(newd)->push_back(make_amortized_row(20.0, 18.0));
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    EXPECT_FALSE(rep.ok());
+    ASSERT_EQ(rep.regressions.size(), 2u);
+    EXPECT_EQ(rep.regressions[0].metric, "writer_amortized_rmrs");
+    EXPECT_DOUBLE_EQ(rep.regressions[0].before, 10.0);
+    EXPECT_DOUBLE_EQ(rep.regressions[0].after, 20.0);
+    EXPECT_DOUBLE_EQ(rep.regressions[0].change, 1.0);
+    EXPECT_EQ(rep.regressions[1].metric, "expected_rmr");
+}
+
+TEST(BenchDiff, AmortizedNoiseWithinToleranceAndImprovementsPass) {
+    auto oldd = bench::make_doc("abortable");
+    auto newd = bench::make_doc("abortable");
+    auto* old_rows = results_of(oldd);
+    old_rows->push_back(make_amortized_row(10.0, 9.0));
+    auto* new_rows = results_of(newd);
+    // +5% amortized, -10% expectation: inside max_drop, and improvements
+    // never regress. ci95/trials are descriptive, not gated.
+    new_rows->push_back(make_amortized_row(10.5, 8.1, /*ci95=*/2.0));
+    const DiffReport rep = bench::diff(oldd, newd, DiffOptions{});
+    EXPECT_TRUE(rep.ok());
+    EXPECT_EQ(rep.joined, 1u);
+}
+
 TEST(BenchDiff, RowKeyUsesDashForAbsentFields) {
     auto row = json::Value::object();
     row.set("lock", "native");

@@ -4,10 +4,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <set>
 #include <sstream>
 
 #include "harness/experiment.hpp"
+#include "harness/seeds.hpp"
 #include "harness/table.hpp"
+#include "sim/por.hpp"
 #include "sim/scheduler.hpp"
 
 namespace rwr::harness {
@@ -100,6 +103,35 @@ TEST(Experiment, ScenarioFactoryBuildsIdenticalSystems) {
         steps[i] = sim::run(*sc.sys, sched, 10'000).steps;
     }
     EXPECT_EQ(steps[0], steps[1]);
+}
+
+TEST(Seeds, StreamSeedIsTheCanonicalDerivation) {
+    // The harness helper must BE sim::stream_seed, not a second mixing
+    // scheme -- one rule repo-wide (explore_run_seed and the dist OpStream
+    // already delegate to it).
+    for (std::uint64_t i = 0; i < 32; ++i) {
+        EXPECT_EQ(stream_seed(42, i), sim::stream_seed(42, i));
+        EXPECT_EQ(stream_seed(42, i, 7),
+                  sim::stream_seed(sim::stream_seed(42, i), 7));
+    }
+}
+
+TEST(Seeds, AdjacentBasesAndLevelsAreDecorrelated) {
+    // The regression the double mix fixes: under a naive `base + i`
+    // derivation, adjacent bases share almost every derived seed. Both
+    // levels of the helper must keep adjacent bases, adjacent indices and
+    // the one-vs-two-level namespaces fully disjoint.
+    constexpr std::uint64_t kRuns = 64;
+    std::set<std::uint64_t> all;
+    for (std::uint64_t base : {41ull, 42ull, 43ull}) {
+        for (std::uint64_t i = 0; i < kRuns; ++i) {
+            all.insert(stream_seed(base, i));
+            all.insert(stream_seed(base, i, 0));
+            all.insert(stream_seed(base, i, 1));
+        }
+    }
+    // Every (base, i[, j]) combination produced a distinct seed.
+    EXPECT_EQ(all.size(), 3u * kRuns * 3u);
 }
 
 TEST(Table, AlignsAndPrints) {

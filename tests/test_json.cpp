@@ -150,6 +150,36 @@ TEST(BenchJsonTest, ValidatesGoodDocuments) {
     drow.set("dist", std::move(d));
     results.push_back(std::move(drow));
     EXPECT_NO_THROW(bench::validate(dist_doc));
+
+    // An amortized row: the exact quartet alone suffices (deterministic
+    // grid cell)...
+    auto amort_doc = bench::make_doc("abortable");
+    auto arow = Value::object();
+    arow.set("lock", "jj-amortized");
+    arow.set("protocol", "write-back");
+    arow.set("n", 0);
+    arow.set("m", 8);
+    arow.set("f", 1);
+    arow.set("threads", 1);
+    auto a = Value::object();
+    a.set("episodes", std::uint64_t{96});
+    a.set("aborted", std::uint64_t{32});
+    a.set("passages", std::uint64_t{64});
+    a.set("writer_amortized_rmrs", 11.5);
+    arow.set("amortized", a);
+    auto& aresults = amort_doc.set("results", Value::array());
+    aresults.push_back(arow);
+    // ...and randomized-trial rows add the expectation fields.
+    a.set("abort_rmr_mean", 4.25);
+    a.set("abort_rmr_max", 9);
+    a.set("expected_rmr", 10.9);
+    a.set("ci95", 0.6);
+    a.set("trials", 9);
+    a.set("worst_case_rmr", 12.1);
+    arow.set("lock", "pw-randomized");
+    arow.set("amortized", std::move(a));
+    aresults.push_back(std::move(arow));
+    EXPECT_NO_THROW(bench::validate(amort_doc));
 }
 
 TEST(BenchJsonTest, RejectsSchemaViolations) {
@@ -193,6 +223,29 @@ TEST(BenchJsonTest, RejectsSchemaViolations) {
     drow.set("dist", std::move(d));
     bad_dist.set("results", Value::array()).push_back(std::move(drow));
     EXPECT_THROW(bench::validate(bad_dist), std::runtime_error);
+
+    // amortized without its required quartet.
+    auto bad_amort = bench::make_doc("x");
+    auto arow = valid_native_row();
+    auto a = Value::object();
+    a.set("episodes", 10);
+    a.set("passages", 8);  // No aborted / writer_amortized_rmrs.
+    arow.set("amortized", std::move(a));
+    bad_amort.set("results", Value::array()).push_back(std::move(arow));
+    EXPECT_THROW(bench::validate(bad_amort), std::runtime_error);
+
+    // amortized with a mistyped optional field.
+    auto bad_amort2 = bench::make_doc("x");
+    auto arow2 = valid_native_row();
+    auto a2 = Value::object();
+    a2.set("episodes", 10);
+    a2.set("aborted", 2);
+    a2.set("passages", 8);
+    a2.set("writer_amortized_rmrs", 11.5);
+    a2.set("expected_rmr", "10.9");  // Stringly-typed number.
+    arow2.set("amortized", std::move(a2));
+    bad_amort2.set("results", Value::array()).push_back(std::move(arow2));
+    EXPECT_THROW(bench::validate(bad_amort2), std::runtime_error);
 }
 
 TEST(BenchJsonTest, WriteValidatesAndRoundTripsThroughDisk) {

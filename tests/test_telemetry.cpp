@@ -13,6 +13,7 @@
 
 #include "native/af_lock.hpp"
 #include "native/baselines.hpp"
+#include "native/mutex.hpp"
 #include "native/park.hpp"
 #include "native/shared_mutex.hpp"
 #include "native/telemetry.hpp"
@@ -76,6 +77,78 @@ TEST(TelemetryTest, AbortsAreCounted) {
     // Failed acquisitions are not acquisitions.
     EXPECT_EQ(snap.count(TelemetryCounter::kReaderAcquire), 1u);
     EXPECT_EQ(snap.count(TelemetryCounter::kWriterAcquire), 1u);
+}
+
+TEST(TelemetryTest, AbortRetriesAreCountedExactly) {
+    LockTelemetry telemetry;
+    AfLock lock(2, 2, 1);
+    lock.attach_telemetry(&telemetry);
+
+    // Writer in its CS: two failed reader tries by id 0 (the second is a
+    // retry), one by id 1 (no retry), then a successful lock_shared by id
+    // 0 -- also a retry: the flag records "previous attempt aborted", not
+    // the new attempt's outcome.
+    lock.lock(0);
+    EXPECT_FALSE(lock.try_lock_shared(0));
+    EXPECT_FALSE(lock.try_lock_shared(0));
+    EXPECT_FALSE(lock.try_lock_shared(1));
+    lock.unlock(0);
+    lock.lock_shared(0);
+    lock.unlock_shared(0);
+
+    // Reader present: writer tries fail past the WL; the second try by
+    // writer id 0 is a retry. This lock_shared(1) is reader id 1's first
+    // attempt since its aborted try above -- a third reader retry.
+    lock.lock_shared(1);
+    EXPECT_FALSE(lock.try_lock(0));
+    EXPECT_FALSE(lock.try_lock(0));
+    EXPECT_FALSE(lock.try_lock(1));
+    lock.unlock_shared(1);
+
+    const auto snap = telemetry.aggregate();
+    EXPECT_EQ(snap.count(TelemetryCounter::kReaderAbort), 3u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kReaderAbortRetry), 3u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kWriterAbort), 3u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kWriterAbortRetry), 1u);
+    // The writer tries won the (uncontended) WL before aborting at the
+    // reader-group handshake: WL acquisitions, no WL aborts.
+    EXPECT_EQ(snap.count(TelemetryCounter::kMutexAbort), 0u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kMutexAbortRetry), 0u);
+}
+
+TEST(TelemetryTest, MutexAbortRetriesAreCountedExactly) {
+    LockTelemetry telemetry;
+    TournamentMutex mx(2);
+    mx.attach_telemetry(&telemetry);
+    mx.lock(0);
+    EXPECT_FALSE(mx.try_lock(1));  // Abort, no retry.
+    EXPECT_FALSE(mx.try_lock(1));  // Abort, retry.
+    mx.unlock(0);
+    mx.lock(1);  // Retry that succeeds.
+    mx.unlock(1);
+    const auto snap = telemetry.aggregate();
+    EXPECT_EQ(snap.count(TelemetryCounter::kMutexAbort), 2u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kMutexAbortRetry), 2u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kMutexAcquire), 2u);
+}
+
+TEST(TelemetryTest, AbortLatencyIsSampled) {
+    LockTelemetry telemetry;
+    TournamentMutex mx(2);
+    mx.attach_telemetry(&telemetry);
+    mx.lock(0);
+    // The abort stopwatch arms on kAbortLatency's thread-local sampling
+    // sequence (period kSampleEvery), whose phase other tests in this
+    // thread may have advanced: 2 * kSampleEvery consecutive aborts
+    // guarantee at least one sampled record wherever the phase sits.
+    for (std::uint32_t i = 0; i < 2 * LockTelemetry::kSampleEvery; ++i) {
+        EXPECT_FALSE(mx.try_lock(1));
+    }
+    mx.unlock(0);
+    const auto snap = telemetry.aggregate();
+    EXPECT_GE(snap.samples(TelemetryHisto::kAbortLatency), 1u);
+    EXPECT_EQ(snap.count(TelemetryCounter::kMutexAbort),
+              2u * LockTelemetry::kSampleEvery);
 }
 
 TEST(TelemetryTest, DetachedLockCountsNothing) {

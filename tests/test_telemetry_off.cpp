@@ -101,7 +101,8 @@ TEST(TelemetryOffTest, ShellStopwatchHasNoState) {
     static_assert(sizeof(TelemetryStopwatch) == 1,
                   "OFF-build TelemetryStopwatch must be empty");
     TelemetryStopwatch sw(nullptr, TelemetryHisto::kReaderEntry);
-    sw.stop();  // No-op.
+    sw.stop();                                     // No-op.
+    sw.stop_into(TelemetryHisto::kAbortLatency);   // No-op.
     SUCCEED();
 }
 
